@@ -1,0 +1,94 @@
+"""Benchmark fixtures: scale selection and cached prepared cases.
+
+``REPRO_SCALE`` governs graph size and victim counts (see
+``repro.experiments.config``): ``smoke`` (default here — minutes for the
+whole suite), ``small`` (laptop benchmarking; used for the numbers recorded
+in EXPERIMENTS.md) and ``full`` (paper-sized; hours).
+
+Shape assertions on paper claims only run at ``small``/``full`` scale —
+smoke victim counts are too small for statements about averages.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import (
+    SCALE_PRESETS,
+    derive_target_labels,
+    prepare_case,
+    select_victims,
+)
+from repro.explain import GNNExplainer, PGExplainer
+
+
+def active_scale():
+    return os.environ.get("REPRO_SCALE", "smoke").lower()
+
+
+@pytest.fixture(scope="session")
+def config():
+    return SCALE_PRESETS[active_scale()]
+
+
+@pytest.fixture(scope="session")
+def assert_shapes():
+    """Whether the paper-shape assertions should be enforced."""
+    return active_scale() != "smoke"
+
+
+class CaseCache:
+    """Prepare each (dataset, config) case at most once per session."""
+
+    def __init__(self):
+        self._cases = {}
+        self._victims = {}
+        self._pg = {}
+
+    def case(self, dataset, config):
+        key = (dataset, id(config))
+        if key not in self._cases:
+            self._cases[key] = prepare_case(dataset, config)
+        return self._cases[key]
+
+    def victims(self, dataset, config):
+        key = (dataset, id(config))
+        if key not in self._victims:
+            case = self.case(dataset, config)
+            self._victims[key] = derive_target_labels(case, select_victims(case))
+        return self._victims[key]
+
+    def pg_explainer(self, dataset, config):
+        key = (dataset, id(config))
+        if key not in self._pg:
+            case = self.case(dataset, config)
+            self._pg[key] = PGExplainer(
+                case.model, epochs=config.pg_epochs, seed=case.seed + 31
+            ).fit(case.graph, instances=config.pg_instances)
+        return self._pg[key]
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return CaseCache()
+
+
+@pytest.fixture(scope="session")
+def gnn_factory(config):
+    def make(case):
+        def factory(_graph):
+            return GNNExplainer(
+                case.model,
+                epochs=config.explainer_epochs,
+                lr=config.explainer_lr,
+                seed=case.seed + 41,
+            )
+
+        return factory
+
+    return make

@@ -1,0 +1,57 @@
+"""Extension — Metattack global poisoning (related-work baseline).
+
+Measures how much test accuracy a meta-gradient poisoning budget removes
+from GCN training on a CORA-like graph.  Expectation (Zügner & Günnemann):
+poisoning a few percent of edges measurably degrades accuracy.
+"""
+
+import numpy as np
+
+from repro.attacks import Metattack
+from repro.experiments import format_table
+from repro.graph import normalize_adjacency
+from repro.nn import GCN, train_node_classifier
+
+
+def run(cache, config):
+    case = cache.case("cora", config)
+    graph, split = case.graph, case.split
+    budget = max(4, graph.num_edges // 20)  # ~5% of edges
+    attack = Metattack(train_steps=8, seed=case.seed + 91)
+    poisoned, flipped = attack.poison(graph, split.train, budget)
+
+    def fit_and_score(g):
+        rng = np.random.default_rng(case.seed + 92)
+        model = GCN(g.num_features, config.hidden, g.num_classes, rng)
+        result = train_node_classifier(
+            model,
+            normalize_adjacency(g.adjacency),
+            g.features,
+            g.labels,
+            split.train,
+            split.val,
+            split.test,
+            epochs=config.epochs,
+        )
+        return result.test_accuracy
+
+    clean = fit_and_score(graph)
+    corrupted = fit_and_score(poisoned)
+    print()
+    print(
+        format_table(
+            ["Graph", "GCN test accuracy"],
+            [["clean", f"{clean:.3f}"],
+             [f"poisoned ({len(flipped)} flips)", f"{corrupted:.3f}"]],
+            title="Extension: Metattack meta-gradient poisoning (CORA)",
+        )
+    )
+    return clean, corrupted
+
+
+def test_metattack_poisoning(benchmark, cache, config, assert_shapes):
+    clean, corrupted = benchmark.pedantic(
+        run, args=(cache, config), rounds=1, iterations=1
+    )
+    if assert_shapes:
+        assert corrupted <= clean + 0.03  # poisoning never helps

@@ -1,0 +1,44 @@
+"""Figure 8 — λ effect on all four detection metrics (CITESEER).
+
+Paper shape: Precision/Recall/F1/NDCG all decrease as λ grows and flatten
+once λ is large (the attack budget is fully spent on evasive edges).
+"""
+
+import numpy as np
+
+from repro.experiments import format_series, lambda_sweep
+
+# Same normalized-λ axis as Figure 4 (λ = 1 ⇒ equal gradient say).
+LAMBDA_GRID = (0.0, 0.1, 0.3, 0.5, 0.7, 1.0, 2.0, 5.0)
+
+
+def run(cache, config):
+    case = cache.case("citeseer", config)
+    victims = cache.victims("citeseer", config)
+    points = lambda_sweep(case, victims, lambdas=LAMBDA_GRID)
+    print()
+    print(
+        format_series(
+            "lambda",
+            points,
+            columns=("precision", "recall", "f1", "ndcg"),
+            title="Figure 8 (CITESEER): detection metrics vs lambda",
+        )
+    )
+    return points
+
+
+def test_fig8_lambda_citeseer(benchmark, cache, config, assert_shapes):
+    points = benchmark.pedantic(run, args=(cache, config), rounds=1, iterations=1)
+    assert len(points) == len(LAMBDA_GRID)
+    if assert_shapes:
+        # Assert on the region where ASR-T is still high — the paper's λ axis
+        # never leaves it (its ASR-T only dips to ~95%), while this
+        # implementation's sharper cliff means that at the largest λ most
+        # attacks *fail*, the explainer explains the unflipped prediction,
+        # and the detection population is no longer comparable.
+        by_value = {p.value: p for p in points}
+        operating = by_value[0.7]
+        baseline = by_value[0.0]
+        assert operating.ndcg <= baseline.ndcg + 0.02
+        assert operating.f1 <= baseline.f1 + 0.02

@@ -1,0 +1,106 @@
+"""Explainer-based defense vs the attacks — closing the paper's loop.
+
+Section 3 of the paper argues explainers let inspectors locate adversarial
+edges; GEAttack exists to defeat that inspection.  This example builds the
+inspection into an automated defense (prune the top-k untrusted explanation
+edges, re-predict) and shows the asymmetry:
+
+* FGA-T / Nettack victims: pruning removes the injected edges and restores
+  many predictions;
+* GEAttack victims: the injected edges hide below the pruning cut-off, so
+  the corrupted prediction survives.
+
+Usage::
+
+    python examples/defense_pruning.py [--scale 0.12] [--prune-k 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import FGATargeted, GEAttack, Nettack
+from repro.defense import ExplainerDefense
+from repro.experiments import (
+    SCALE_PRESETS,
+    derive_target_labels,
+    format_table,
+    prepare_case,
+    select_victims,
+)
+from repro.explain import GNNExplainer
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--prune-k", type=int, default=3)
+    args = parser.parse_args()
+
+    config = SCALE_PRESETS["smoke"]
+    config = type(config)(**{**config.__dict__, "dataset_scale": args.scale})
+    case = prepare_case("citeseer", config)
+    victims = derive_target_labels(case, select_victims(case))
+    if not victims:
+        raise SystemExit("no flippable victims; try another seed")
+    print(case.graph, f"| {len(victims)} victims\n")
+
+    factory = lambda _graph: GNNExplainer(
+        case.model, epochs=config.explainer_epochs, lr=config.explainer_lr, seed=7
+    )
+    defense = ExplainerDefense(
+        case.model,
+        factory,
+        prune_k=args.prune_k,
+        trusted_edges=case.graph.edge_set(),
+    )
+
+    rows = []
+    for attack in (
+        FGATargeted(case.model, seed=8),
+        Nettack(case.model, seed=8),
+        # A deliberately evasion-heavy λ: the point of this demo is the
+        # defense asymmetry, not the ASR/evasion sweet spot.
+        GEAttack(case.model, seed=8, lam=2.0),
+    ):
+        results = [
+            attack.attack(case.graph, v.node, v.target_label, v.budget)
+            for v in victims
+        ]
+        asr_t = float(np.mean([r.hit_target for r in results]))
+        recovery = defense.recovery_rate(case.graph, results, case.graph.labels)
+        pruned_hits = []
+        for result in results:
+            outcome = defense.inspect(
+                result.perturbed_graph, result.target_node, result.added_edges
+            )
+            pruned_hits.append(
+                len(outcome.pruned_adversarial) / max(1, len(result.added_edges))
+            )
+        rows.append(
+            [
+                attack.name,
+                f"{asr_t:.2f}",
+                f"{float(np.mean(pruned_hits)):.2f}",
+                f"{recovery:.2f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["Attack", "ASR-T", "adv-edges pruned", "labels recovered"],
+            rows,
+            title=f"Explainer-pruning defense (prune_k={args.prune_k})",
+        )
+    )
+    print(
+        "\nExpected trend (visible in aggregate at REPRO_SCALE=small, see "
+        "benchmarks/test_ablation_defense.py):\nthe defense undoes gradient "
+        "attacks whose edges top the explanation ranking, while\nGEAttack "
+        "pushes its edges below the prune cut-off, so more of its "
+        "corruptions persist."
+    )
+
+
+if __name__ == "__main__":
+    main()

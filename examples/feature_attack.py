@@ -1,0 +1,137 @@
+"""Feature-space joint attack — the paper's future work, demonstrated.
+
+The paper attacks graph *structure* and notes feature perturbations as
+future work.  This example runs the feature-space analogue end to end on a
+scaled-down CITESEER-like graph:
+
+1. train the 2-layer GCN;
+2. pick several correctly-classified victims with a feature-flippable
+   target label;
+3. attack each by flipping the victim's bag-of-words bits with FeatureFGA
+   (pure gradient attack) and GEF-Attack (joint attack that also evades
+   the explainer's feature mask M_F — the second half of the paper's
+   Eq. 2);
+4. inspect with ``GNNExplainer(explain_features=True)`` and measure where
+   the planted words rank in the feature-importance list, averaged over
+   the victims (single-victim numbers are noisy).
+
+The takeaway is a *negative* result worth knowing: at realistic feature
+dimensionality the feature mask's per-word weights for planted words sit
+near its initialization noise floor, so detection is weak for both attacks
+and joint evasion has little to exploit — empirical support for the
+paper's structure-only focus (see the feature-attack entry in DESIGN.md).
+
+Usage::
+
+    python examples/feature_attack.py [--scale 0.12] [--seed 0]
+                                      [--budget 10] [--victims 5]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import FeatureFGA, GEFAttack
+from repro.datasets import citeseer, random_split
+from repro.explain import GNNExplainer
+from repro.graph import normalize_adjacency
+from repro.metrics import feature_detection_report
+from repro.nn import GCN, train_node_classifier
+
+
+def find_victims(graph, model, predictions, budget, seed, how_many):
+    """Victims FeatureFGA can flip, with the target label it flips them to."""
+    degrees = graph.degrees()
+    probe = FeatureFGA(model, seed=seed)
+    victims = []
+    for node in np.flatnonzero(
+        (predictions == graph.labels) & (degrees >= 2) & (degrees <= 6)
+    ):
+        node = int(node)
+        for offset in range(1, graph.num_classes):
+            candidate = int((predictions[node] + offset) % graph.num_classes)
+            outcome = probe.attack(graph, node, candidate, budget)
+            if outcome.hit_target:
+                victims.append((node, candidate))
+                break
+        if len(victims) >= how_many:
+            break
+    return victims
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", type=int, default=10)
+    parser.add_argument("--victims", type=int, default=5)
+    args = parser.parse_args()
+
+    print("== 1. data & model ==")
+    graph = citeseer(scale=args.scale, seed=args.seed)
+    print(graph)
+    split = random_split(graph.num_nodes, seed=args.seed + 1)
+    model = GCN(
+        graph.num_features, 16, graph.num_classes,
+        np.random.default_rng(args.seed + 2),
+    )
+    result = train_node_classifier(
+        model,
+        normalize_adjacency(graph.adjacency),
+        graph.features,
+        graph.labels,
+        split.train,
+        split.val,
+        split.test,
+    )
+    print(f"GCN test accuracy: {result.test_accuracy:.3f}")
+
+    print("\n== 2. victim selection ==")
+    predictions = model.predict(
+        normalize_adjacency(graph.adjacency), graph.features
+    )
+    victims = find_victims(
+        graph, model, predictions, args.budget, args.seed + 3, args.victims
+    )
+    if not victims:
+        raise SystemExit("no feature-flippable victims found; try another seed")
+    print(
+        f"{len(victims)} victims, budget {args.budget} word flips each: "
+        f"{[node for node, _ in victims]}"
+    )
+
+    print("\n== 3. attack & inspect the feature mask ==")
+    explainer = GNNExplainer(
+        model, epochs=80, seed=args.seed + 4, explain_features=True
+    )
+    for attack in (
+        FeatureFGA(model, seed=args.seed + 5),
+        GEFAttack(model, seed=args.seed + 5),
+    ):
+        hits, f1s, ndcgs = 0, [], []
+        for node, target_label in victims:
+            outcome = attack.attack(graph, node, target_label, args.budget)
+            hits += outcome.hit_target
+            if outcome.flipped_features:
+                explanation = explainer.explain_node(
+                    outcome.perturbed_graph, node
+                )
+                report = feature_detection_report(
+                    explanation, outcome.flipped_features, k=15
+                )
+                f1s.append(report["f1"])
+                ndcgs.append(report["ndcg"])
+        print(
+            f"{attack.name:11s} ASR-T={hits}/{len(victims)} "
+            f"mean F1@15={np.mean(f1s):.3f} mean NDCG@15={np.mean(ndcgs):.3f}"
+        )
+    print(
+        "\nBoth attacks flip predictions through planted words, yet the "
+        "feature-mask inspector barely surfaces them (compare the edge-mask "
+        "numbers in examples/quickstart.py) — in feature space there is "
+        "little detection to evade, which is why the paper attacks structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The Section 3 scenario: GNNExplainer as an adversarial-edge inspector.
+
+Recreates the paper's motivating study — an e-commerce-style inspection
+workflow.  Nettack corrupts predictions for victims of each degree; a system
+inspector runs GNNExplainer on the suspicious predictions and checks the
+top-ranked edges.  The script prints the per-degree detection table
+(Figures 2 and 3) plus a concrete inspection transcript for one victim.
+
+Usage::
+
+    python examples/inspector_study.py [--dataset citeseer] [--scale 0.12]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import (
+    SCALE_PRESETS,
+    format_table,
+    prepare_case,
+    preliminary_inspection_study,
+)
+from repro.attacks import Nettack
+from repro.explain import GNNExplainer
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="citeseer",
+                        choices=["citeseer", "cora", "acm"])
+    parser.add_argument("--scale", type=float, default=0.12)
+    args = parser.parse_args()
+
+    config = SCALE_PRESETS["smoke"]
+    config = type(config)(**{**config.__dict__, "dataset_scale": args.scale})
+    case = prepare_case(args.dataset, config)
+    print(case.graph, f"| GCN test accuracy {case.test_accuracy:.3f}")
+
+    print("\n== per-degree inspection study (Figures 2/3) ==")
+    explainer_factory = lambda _graph: GNNExplainer(
+        case.model, epochs=config.explainer_epochs, lr=config.explainer_lr, seed=1
+    )
+    results = preliminary_inspection_study(
+        case, explainer_factory, degrees=range(1, 7), per_degree=3
+    )
+    print(
+        format_table(
+            ["Degree", "Victims", "ASR", "F1@15", "NDCG@15"],
+            [
+                [r.degree, r.count, f"{r.asr:.2f}", f"{r.f1:.3f}", f"{r.ndcg:.3f}"]
+                for r in results
+            ],
+        )
+    )
+
+    print("\n== one inspection transcript ==")
+    degrees = case.graph.degrees()
+    pool = np.flatnonzero(
+        (case.predictions == case.graph.labels) & (degrees >= 2) & (degrees <= 4)
+    )
+    victim = int(pool[0])
+    wrong = case.probabilities[victim].copy()
+    wrong[case.graph.labels[victim]] = -np.inf
+    target = int(np.argmax(wrong))
+    outcome = Nettack(case.model, seed=2).attack(
+        case.graph, victim, target, int(degrees[victim])
+    )
+    print(
+        f"victim {victim}: prediction changed "
+        f"{outcome.original_prediction} -> {outcome.final_prediction}; "
+        f"attacker injected {outcome.added_edges}"
+    )
+    explanation = explainer_factory(None).explain_node(
+        outcome.perturbed_graph, victim
+    )
+    print("inspector's top-10 explanation edges (injected marked **):")
+    injected = set(outcome.added_edges)
+    for rank, edge in enumerate(explanation.ranking()[:10], start=1):
+        marker = " **" if edge in injected else ""
+        print(f"  {rank:2d}. {edge}{marker}")
+
+
+if __name__ == "__main__":
+    main()

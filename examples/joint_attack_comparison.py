@@ -1,0 +1,45 @@
+"""Mini Table 1: every attacker head-to-head under the explainer inspector.
+
+Runs the paper's seven attack methods over a victim set on one dataset and
+prints the ASR / ASR-T / detection table — the same layout as Table 1, at a
+configurable scale.
+
+Usage::
+
+    python examples/joint_attack_comparison.py [--dataset cora] [--scale smoke]
+"""
+
+import argparse
+
+from repro.experiments import (
+    SCALE_PRESETS,
+    format_comparison_table,
+    run_comparison,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora",
+                        choices=["citeseer", "cora", "acm"])
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "small", "full"])
+    parser.add_argument(
+        "--explainer", default="gnn", choices=["gnn", "pg"],
+        help="inspector: GNNExplainer (Table 1) or PGExplainer (Table 2)",
+    )
+    args = parser.parse_args()
+
+    config = SCALE_PRESETS[args.scale]
+    comparison = run_comparison(args.dataset, config, explainer=args.explainer)
+    print(format_comparison_table(comparison))
+    print(
+        "\nReading guide (paper's claims): FGA-T / Nettack / GEAttack reach "
+        "~100% ASR-T;\nGEAttack shows the lowest detection metrics of the "
+        "non-random attackers, i.e. it\njointly attacks the GNN *and* its "
+        "explanations."
+    )
+
+
+if __name__ == "__main__":
+    main()

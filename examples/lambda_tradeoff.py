@@ -1,0 +1,62 @@
+"""Figure 4 in miniature: the λ knob between attacking and hiding.
+
+Sweeps GEAttack's λ over a grid and prints ASR-T together with the
+detection metrics — small λ = pure graph attack (detected), large λ = pure
+explainer evasion (attack fails), with the paper's operating band between.
+
+Usage::
+
+    python examples/lambda_tradeoff.py [--dataset cora]
+"""
+
+import argparse
+
+from repro.experiments import (
+    SCALE_PRESETS,
+    derive_target_labels,
+    format_series,
+    lambda_sweep,
+    prepare_case,
+    select_victims,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora",
+                        choices=["citeseer", "cora", "acm"])
+    parser.add_argument(
+        "--lambdas",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.1, 0.3, 0.5, 0.7, 1.0, 2.0, 5.0],
+    )
+    args = parser.parse_args()
+
+    config = SCALE_PRESETS["smoke"]
+    case = prepare_case(args.dataset, config)
+    victims = derive_target_labels(case, select_victims(case))
+    if not victims:
+        raise SystemExit("no flippable victims; try a different dataset/seed")
+    print(
+        f"{case.graph} | {len(victims)} victims | "
+        f"GCN test accuracy {case.test_accuracy:.3f}\n"
+    )
+    points = lambda_sweep(case, victims, lambdas=args.lambdas)
+    print(
+        format_series(
+            "lambda",
+            points,
+            columns=("asr_t", "precision", "recall", "f1", "ndcg"),
+            title=f"lambda trade-off on {args.dataset.upper()}",
+        )
+    )
+    print(
+        "\nSmall lambda keeps ASR-T at its maximum; raising lambda buys "
+        "explainer evasion\n(F1/NDCG fall) until the attack itself degrades "
+        "— the paper's Figure 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""PGExplainer's inductive workflow and the Section 5.3 joint attack.
+
+Trains PGExplainer once on the clean graph, then (a) explains several nodes
+with single forward passes, (b) inspects a Nettack-perturbed graph it never
+saw during training, and (c) runs GEAttack-PG — the GEAttack variant that
+fine-tunes and evades the trained PGExplainer.
+
+Usage::
+
+    python examples/pgexplainer_inductive.py [--scale 0.12]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import GEAttackPG, Nettack
+from repro.experiments import SCALE_PRESETS, prepare_case
+from repro.explain import PGExplainer
+from repro.metrics import detection_report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.12)
+    args = parser.parse_args()
+
+    config = SCALE_PRESETS["smoke"]
+    config = type(config)(**{**config.__dict__, "dataset_scale": args.scale})
+    case = prepare_case("citeseer", config)
+    print(case.graph, f"| GCN test accuracy {case.test_accuracy:.3f}")
+
+    print("\n== train PGExplainer once on the clean graph ==")
+    explainer = PGExplainer(case.model, epochs=12, seed=3)
+    explainer.fit(case.graph, instances=12)
+    for node in [5, 20, 40]:
+        explanation = explainer.explain_node(case.graph, node)
+        top = explanation.top_edges(3)
+        print(f"node {node}: top edges {top}")
+
+    print("\n== inductive inspection of an attacked graph ==")
+    degrees = case.graph.degrees()
+    pool = np.flatnonzero(
+        (case.predictions == case.graph.labels) & (degrees >= 2) & (degrees <= 5)
+    )
+    victim = int(pool[0])
+    wrong = case.probabilities[victim].copy()
+    wrong[case.graph.labels[victim]] = -np.inf
+    target = int(np.argmax(wrong))
+    nettack = Nettack(case.model, seed=4).attack(
+        case.graph, victim, target, int(degrees[victim])
+    )
+    report = detection_report(
+        explainer.explain_node(nettack.perturbed_graph, victim),
+        nettack.added_edges,
+        k=15,
+    )
+    print(
+        f"Nettack on victim {victim}: flipped={nettack.misclassified}, "
+        f"PGExplainer detection F1@15={report['f1']:.3f} "
+        f"NDCG@15={report['ndcg']:.3f}"
+    )
+
+    print("\n== GEAttack-PG: jointly evade the trained PGExplainer ==")
+    joint = GEAttackPG(case.model, explainer, seed=4, lam=80.0).attack(
+        case.graph, victim, target, int(degrees[victim])
+    )
+    report = detection_report(
+        explainer.explain_node(joint.perturbed_graph, victim),
+        joint.added_edges,
+        k=15,
+    )
+    print(
+        f"GEAttack-PG on victim {victim}: hit-target={joint.hit_target}, "
+        f"PGExplainer detection F1@15={report['f1']:.3f} "
+        f"NDCG@15={report['ndcg']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setuptools shim for offline editable installs (no `wheel` pkg)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Jointly Attacking Graph Neural Network and its
+Explanations" (GEAttack, ICDE 2023).
+
+Subpackages
+-----------
+``repro.autodiff``
+    Numpy reverse-mode autodiff with higher-order gradients (the PyTorch
+    substitute enabling GEAttack's bilevel optimization).
+``repro.nn``
+    Modules, layers, optimizers, the paper's 2-layer GCN and the Nettack
+    surrogate.
+``repro.graph``
+    Graph container and utilities (normalization, k-hop subgraphs).
+``repro.datasets``
+    Synthetic CITESEER/CORA/ACM-like citation graphs (Table 3 statistics).
+``repro.explain``
+    GNNExplainer and PGExplainer.
+``repro.attacks``
+    RNA, FGA, FGA-T, FGA-T&E, Nettack, IG-Attack — and GEAttack.
+``repro.metrics``
+    ASR / ASR-T and Precision/Recall/F1/NDCG @K detection rates.
+``repro.experiments``
+    The harness regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.1.0"
+
+from repro import (
+    attacks,
+    autodiff,
+    datasets,
+    experiments,
+    explain,
+    graph,
+    metrics,
+    nn,
+)
+
+__all__ = [
+    "attacks",
+    "autodiff",
+    "datasets",
+    "experiments",
+    "explain",
+    "graph",
+    "metrics",
+    "nn",
+    "__version__",
+]

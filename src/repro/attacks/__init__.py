@@ -1,0 +1,97 @@
+"""Adversarial attacks on GNNs: the paper's baselines and GEAttack.
+
+=============  ====================================  ===========================
+Name           Class                                 Paper role
+=============  ====================================  ===========================
+``RNA``        :class:`RandomAttack`                 weakest attacker baseline
+``FGA``        :class:`FGA`                          untargeted gradient attack
+``FGA-T``      :class:`FGATargeted`                  targeted gradient attack
+``FGA-T&E``    :class:`FGATExplainerEvasion`         heuristic joint baseline
+``Nettack``    :class:`Nettack`                      strongest classic attacker
+``IG-Attack``  :class:`IGAttack`                     integrated gradients
+``GEAttack``   :class:`GEAttack`                     the paper's contribution
+=============  ====================================  ===========================
+
+Extensions beyond the paper's table: :class:`GEAttackPG` (Section 5.3's
+PGExplainer variant), :class:`Metattack` (global poisoning),
+:class:`DICE` (label heuristic), and the feature-space pair
+:class:`FeatureFGA` / :class:`GEFAttack` (the paper's named future work).
+"""
+
+from repro.attacks.base import (
+    Attack,
+    AttackResult,
+    CandidatePolicy,
+    DenseGCNForward,
+    candidate_nodes,
+)
+from repro.attacks.dice import DICE
+from repro.attacks.feature import (
+    FeatureAttackResult,
+    FeatureFGA,
+    GEFAttack,
+    graph_with_features_flipped,
+)
+from repro.attacks.fga import FGA, FGATargeted, select_best_candidate, targeted_loss
+from repro.attacks.fga_te import FGATExplainerEvasion
+from repro.attacks.geattack import GEAttack, GEAttackPG, evasion_matrix
+from repro.attacks.ig_attack import IGAttack
+from repro.attacks.metattack import Metattack
+from repro.attacks.nettack import (
+    Nettack,
+    degree_preserving_candidates,
+    degree_test_statistic,
+    estimate_powerlaw_alpha,
+    powerlaw_log_likelihood,
+)
+from repro.attacks.random_attack import RandomAttack
+
+#: Registry keyed by the names used in the paper's tables.
+ATTACKS = {
+    "RNA": RandomAttack,
+    "FGA": FGA,
+    "FGA-T": FGATargeted,
+    "FGA-T&E": FGATExplainerEvasion,
+    "Nettack": Nettack,
+    "IG-Attack": IGAttack,
+    "GEAttack": GEAttack,
+}
+
+
+def make_attack(name, model, **kwargs):
+    """Instantiate an attack from the registry by its paper name."""
+    if name not in ATTACKS:
+        raise KeyError(f"unknown attack {name!r}; options: {sorted(ATTACKS)}")
+    return ATTACKS[name](model, **kwargs)
+
+
+__all__ = [
+    "ATTACKS",
+    "Attack",
+    "AttackResult",
+    "CandidatePolicy",
+    "DICE",
+    "DenseGCNForward",
+    "FGA",
+    "FGATargeted",
+    "FGATExplainerEvasion",
+    "FeatureAttackResult",
+    "FeatureFGA",
+    "GEAttack",
+    "GEFAttack",
+    "GEAttackPG",
+    "IGAttack",
+    "Metattack",
+    "Nettack",
+    "RandomAttack",
+    "candidate_nodes",
+    "degree_preserving_candidates",
+    "degree_test_statistic",
+    "estimate_powerlaw_alpha",
+    "evasion_matrix",
+    "graph_with_features_flipped",
+    "make_attack",
+    "powerlaw_log_likelihood",
+    "select_best_candidate",
+    "targeted_loss",
+]

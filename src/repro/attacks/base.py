@@ -1,0 +1,181 @@
+"""Attack infrastructure: result objects, candidate policies, fast forward.
+
+All attacks in this package are *evasion* attacks in the paper's threat
+model: the GCN is trained on the clean graph and frozen; the attacker adds
+fake edges incident to the target node (direct structure attack) within a
+budget Δ, aiming to flip the prediction to a chosen target label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.graph.utils import (
+    edge_tuple,
+    normalize_adjacency,
+    normalize_adjacency_tensor,
+)
+
+__all__ = [
+    "AttackResult",
+    "Attack",
+    "DenseGCNForward",
+    "CandidatePolicy",
+    "candidate_nodes",
+]
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a (possibly failed) attack on one target node.
+
+    Attributes
+    ----------
+    perturbed_graph:
+        The corrupted graph ``Ĝ`` with adversarial edges added.
+    added_edges:
+        Canonical global edge tuples inserted by the attacker.
+    target_node, target_label:
+        The victim and the attacker's desired label (None if untargeted).
+    original_prediction:
+        The clean-graph prediction for the victim.
+    final_prediction:
+        The model's prediction for the victim on the perturbed graph.
+    """
+
+    perturbed_graph: object
+    added_edges: list
+    target_node: int
+    target_label: int | None
+    original_prediction: int
+    final_prediction: int
+    history: list = field(default_factory=list)
+
+    @property
+    def misclassified(self):
+        """Whether the prediction changed at all (the ASR event)."""
+        return self.final_prediction != self.original_prediction
+
+    @property
+    def hit_target(self):
+        """Whether the prediction equals the target label (the ASR-T event)."""
+        return (
+            self.target_label is not None
+            and self.final_prediction == self.target_label
+        )
+
+
+class CandidatePolicy:
+    """Which endpoints may receive an adversarial edge from the victim."""
+
+    ANY = "any"
+    TARGET_LABEL = "target-label"
+
+
+def candidate_nodes(graph, target_node, target_label=None, policy=None):
+    """Endpoints eligible for a fake edge from ``target_node``.
+
+    Excludes the victim itself and its current neighbors (we only *add*
+    edges).  Under ``TARGET_LABEL`` — the paper's attacker setting — only
+    nodes whose label equals the desired target label are eligible.
+    """
+    policy = policy or (
+        CandidatePolicy.TARGET_LABEL
+        if target_label is not None
+        else CandidatePolicy.ANY
+    )
+    banned = set(graph.neighbors(int(target_node)).tolist())
+    banned.add(int(target_node))
+    nodes = np.arange(graph.num_nodes)
+    keep = np.array([v not in banned for v in nodes], dtype=bool)
+    if policy == CandidatePolicy.TARGET_LABEL:
+        if target_label is None:
+            raise ValueError("TARGET_LABEL policy requires a target label")
+        keep &= graph.labels == int(target_label)
+    elif policy != CandidatePolicy.ANY:
+        raise ValueError(f"unknown candidate policy {policy!r}")
+    return nodes[keep]
+
+
+class DenseGCNForward:
+    """Differentiable GCN forward under a dense (attackable) adjacency.
+
+    The feature-side product ``X @ W1`` is constant during an evasion attack
+    (weights and features are frozen), so it is precomputed once; each call
+    then costs two sparse-sized dense products instead of touching the full
+    feature matrix.  Call signature matches ``model(adjacency, features)``
+    so this object can stand in for the model inside
+    :func:`repro.explain.gnn_explainer.explainer_loss`.
+    """
+
+    def __init__(self, model, features):
+        model.eval()
+        features = np.asarray(features, dtype=np.float64)
+        self.first_support = Tensor(features @ model.conv1.weight.data)
+        self.first_bias = (
+            Tensor(model.conv1.bias.data) if model.conv1.bias is not None else None
+        )
+        self.second_weight = Tensor(model.conv2.weight.data)
+        self.second_bias = (
+            Tensor(model.conv2.bias.data) if model.conv2.bias is not None else None
+        )
+        self.num_classes = model.conv2.weight.shape[1]
+
+    def __call__(self, normalized_adjacency, features=None):
+        """Logits under an already *normalized* adjacency tensor."""
+        hidden = ops.matmul(normalized_adjacency, self.first_support)
+        if self.first_bias is not None:
+            hidden = hidden + self.first_bias
+        hidden = ops.relu(hidden)
+        out = ops.matmul(normalized_adjacency, ops.matmul(hidden, self.second_weight))
+        if self.second_bias is not None:
+            out = out + self.second_bias
+        return out
+
+    def logits_from_raw(self, adjacency_tensor):
+        """Logits from a raw (unnormalized) dense adjacency tensor."""
+        return self(normalize_adjacency_tensor(adjacency_tensor))
+
+
+class Attack:
+    """Base class: holds the frozen model and common evaluation helpers."""
+
+    name = "base"
+
+    def __init__(self, model, seed=0, candidate_policy=None):
+        self.model = model
+        self.seed = int(seed)
+        self.candidate_policy = candidate_policy
+
+    # -- api ----------------------------------------------------------------
+    def attack(self, graph, target_node, target_label, budget):
+        """Return an :class:`AttackResult`; implemented by subclasses."""
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------
+    def predict(self, graph, node=None):
+        """Model predictions on ``graph`` (all nodes, or one node)."""
+        normalized = normalize_adjacency(graph.adjacency)
+        with no_grad():
+            logits = self.model(normalized, Tensor(graph.features))
+        predictions = logits.data.argmax(axis=1)
+        return int(predictions[int(node)]) if node is not None else predictions
+
+    def _candidates(self, graph, target_node, target_label):
+        return candidate_nodes(
+            graph, target_node, target_label, policy=self.candidate_policy
+        )
+
+    def _finalize(self, graph, perturbed, added, target_node, target_label):
+        return AttackResult(
+            perturbed_graph=perturbed,
+            added_edges=[edge_tuple(u, v) for u, v in added],
+            target_node=int(target_node),
+            target_label=None if target_label is None else int(target_label),
+            original_prediction=self.predict(graph, target_node),
+            final_prediction=self.predict(perturbed, target_node),
+        )

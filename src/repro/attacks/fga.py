@@ -1,0 +1,84 @@
+"""FGA and FGA-T — fast gradient attacks on the adjacency matrix.
+
+FGA (Jin et al.) relaxes the adjacency to a continuous matrix, computes the
+gradient of an attack loss at the victim with respect to every entry and
+greedily adds the non-edge with the strongest useful gradient, one edge per
+step.  FGA maximizes the loss of the *current* prediction (untargeted);
+FGA-T minimizes the loss of a chosen *target* label (targeted), which makes
+it the pure-graph-attack ancestor of GEAttack (λ = 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, DenseGCNForward
+from repro.autodiff import functional as F
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, grad
+
+__all__ = ["FGA", "FGATargeted", "targeted_loss", "select_best_candidate"]
+
+
+def targeted_loss(forward, adjacency_tensor, node, label):
+    """Cross-entropy of the victim's logits against ``label`` (Eq. 4)."""
+    logits = forward.logits_from_raw(adjacency_tensor)
+    row = ops.reshape(logits[int(node)], (1, logits.shape[1]))
+    return F.cross_entropy(row, np.array([int(label)]))
+
+
+def select_best_candidate(scores, target_node, candidates):
+    """Pick the candidate endpoint with the highest score for the victim row."""
+    row = scores[int(target_node), candidates]
+    best = int(np.argmax(row))
+    return int(candidates[best]), float(row[best])
+
+
+class FGA(Attack):
+    """Untargeted fast gradient attack (no specific target label)."""
+
+    name = "FGA"
+    targeted = False
+
+    def attack(self, graph, target_node, target_label, budget):
+        forward = DenseGCNForward(self.model, graph.features)
+        original = self.predict(graph, target_node)
+        perturbed = graph
+        added = []
+        for _ in range(int(budget)):
+            label, sign = self._attack_direction(target_label, original)
+            candidates = self._step_candidates(perturbed, target_node, target_label)
+            if candidates.size == 0:
+                break
+            adjacency = Tensor(perturbed.dense_adjacency(), requires_grad=True)
+            loss = targeted_loss(forward, adjacency, target_node, label)
+            gradient = grad(loss, adjacency).data
+            # Undirected edge: entry (i, j) and (j, i) both change.
+            scores = sign * (gradient + gradient.T)
+            best, _ = select_best_candidate(scores, target_node, candidates)
+            edge = (int(target_node), best)
+            added.append(edge)
+            perturbed = perturbed.with_edges_added([edge])
+        return self._finalize(graph, perturbed, added, target_node, target_label)
+
+    def _attack_direction(self, target_label, original_prediction):
+        """(label to score against, gradient sign meaning 'useful')."""
+        # Untargeted: increase the loss of the current prediction.
+        return original_prediction, +1.0
+
+    def _step_candidates(self, graph, target_node, target_label):
+        if self.targeted:
+            return self._candidates(graph, target_node, target_label)
+        return self._candidates(graph, target_node, None)
+
+
+class FGATargeted(FGA):
+    """FGA-T: gradient attack toward a specific (incorrect) target label."""
+
+    name = "FGA-T"
+    targeted = True
+
+    def _attack_direction(self, target_label, original_prediction):
+        # Targeted: decrease the loss of the target label → most negative
+        # gradient is the most useful edge to add.
+        return target_label, -1.0

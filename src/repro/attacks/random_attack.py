@@ -1,0 +1,34 @@
+"""RNA — Random Attack baseline.
+
+Adds ``budget`` edges from the victim to uniformly random nodes carrying the
+desired target label (the paper's RNA definition in Appendix A.4).  RNA is
+the weakest attacker but — because random endpoints carry little signal for
+the prediction — the hardest for the explainer-inspector to detect, which is
+the trade-off anchor in Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+
+__all__ = ["RandomAttack"]
+
+
+class RandomAttack(Attack):
+    """Random target-label edge insertion."""
+
+    name = "RNA"
+
+    def attack(self, graph, target_node, target_label, budget):
+        rng = np.random.default_rng(self.seed + int(target_node))
+        candidates = self._candidates(graph, target_node, target_label)
+        added = []
+        perturbed = graph
+        count = min(int(budget), candidates.size)
+        if count > 0:
+            picked = rng.choice(candidates, size=count, replace=False)
+            added = [(int(target_node), int(v)) for v in picked]
+            perturbed = graph.with_edges_added(added)
+        return self._finalize(graph, perturbed, added, target_node, target_label)

@@ -1,0 +1,133 @@
+"""Composite differentiable functions built from primitives.
+
+These are the neural-network-facing functions (softmax, losses, dropout)
+used by the GCN, the explainers and the attacks.  All of them are
+compositions of :mod:`repro.autodiff.ops` primitives, so first- and
+second-order gradients are available throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, astensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "nll_loss",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "mse_loss",
+    "dropout",
+    "entropy",
+]
+
+
+def log_softmax(logits, axis=-1):
+    """Numerically stable log-softmax.
+
+    The running maximum is subtracted as a *detached* constant.  The value of
+    ``log_softmax`` is mathematically invariant to constant shifts, so the
+    gradient (and all higher-order gradients) remain exact.
+    """
+    logits = astensor(logits)
+    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
+    centered = logits - shift
+    log_norm = ops.log(ops.tensor_sum(ops.exp(centered), axis=axis, keepdims=True))
+    return centered - log_norm
+
+
+def softmax(logits, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    return ops.exp(log_softmax(logits, axis=axis))
+
+
+def nll_loss(log_probs, targets, reduction="mean"):
+    """Negative log-likelihood over integer class ``targets``.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(n, C)`` tensor of log-probabilities.
+    targets:
+        Length-``n`` integer array of class indices.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    log_probs = astensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    rows = np.arange(log_probs.shape[0])
+    picked = ops.getitem(log_probs, (rows, targets))
+    losses = ops.neg(picked)
+    if reduction == "mean":
+        return ops.mean(losses)
+    if reduction == "sum":
+        return ops.tensor_sum(losses)
+    if reduction == "none":
+        return losses
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits, targets, reduction="mean"):
+    """Cross-entropy of raw logits against integer class targets."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def binary_cross_entropy(probabilities, targets, eps=1e-12, reduction="mean"):
+    """Binary cross-entropy between probabilities and 0/1 targets."""
+    probabilities = astensor(probabilities)
+    targets = astensor(targets)
+    clipped = ops.clip(probabilities, eps, 1.0 - eps)
+    losses = ops.neg(
+        targets * ops.log(clipped) + (1.0 - targets) * ops.log(1.0 - clipped)
+    )
+    if reduction == "mean":
+        return ops.mean(losses)
+    if reduction == "sum":
+        return ops.tensor_sum(losses)
+    return losses
+
+
+def mse_loss(prediction, target, reduction="mean"):
+    """Mean squared error."""
+    prediction = astensor(prediction)
+    target = astensor(target)
+    squared = (prediction - target) * (prediction - target)
+    if reduction == "mean":
+        return ops.mean(squared)
+    if reduction == "sum":
+        return ops.tensor_sum(squared)
+    return squared
+
+
+def dropout(tensor, p, rng, training=True):
+    """Inverted dropout with keep-probability scaling.
+
+    Parameters
+    ----------
+    tensor:
+        Input tensor.
+    p:
+        Drop probability in ``[0, 1)``.
+    rng:
+        ``numpy.random.Generator`` supplying the mask (explicit for
+        reproducibility — there is no hidden global RNG in this library).
+    training:
+        When false the input is returned unchanged.
+    """
+    tensor = astensor(tensor)
+    if not training or p <= 0.0:
+        return tensor
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    mask = (rng.random(tensor.shape) >= p).astype(np.float64) / (1.0 - p)
+    return tensor * Tensor(mask)
+
+
+def entropy(probabilities, eps=1e-12, axis=None):
+    """Shannon entropy ``-Σ p log p`` (used by PGExplainer's regularizer)."""
+    probabilities = astensor(probabilities)
+    clipped = ops.clip(probabilities, eps, 1.0)
+    return ops.neg(ops.tensor_sum(probabilities * ops.log(clipped), axis=axis))

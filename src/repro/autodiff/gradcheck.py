@@ -1,0 +1,89 @@
+"""Numerical gradient verification utilities.
+
+Central finite differences are the ground truth that the autodiff engine is
+validated against in the test suite — both first order (``gradcheck``) and
+second order (``gradgradcheck``), the latter being the property GEAttack's
+bilevel optimization depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, grad
+
+__all__ = ["numeric_grad", "gradcheck", "gradgradcheck"]
+
+
+def numeric_grad(func, tensors, index=0, eps=1e-6):
+    """Central-difference gradient of scalar ``func`` w.r.t. one input.
+
+    Parameters
+    ----------
+    func:
+        Callable taking the tensors and returning a scalar :class:`Tensor`.
+    tensors:
+        Input tensors; the one at ``index`` is perturbed.
+    eps:
+        Finite-difference step.
+    """
+    target = tensors[index]
+    flat = target.data.reshape(-1)
+    result = np.zeros_like(flat)
+    for position in range(flat.size):
+        saved = flat[position]
+        flat[position] = saved + eps
+        upper = func(*tensors).item()
+        flat[position] = saved - eps
+        lower = func(*tensors).item()
+        flat[position] = saved
+        result[position] = (upper - lower) / (2.0 * eps)
+    return result.reshape(target.shape)
+
+
+def gradcheck(func, tensors, eps=1e-6, atol=1e-4, rtol=1e-3):
+    """Assert analytic gradients match finite differences for all inputs."""
+    tensors = list(tensors)
+    output = func(*tensors)
+    analytic = grad(output, tensors, allow_unused=True)
+    if isinstance(analytic, Tensor):
+        analytic = (analytic,)
+    for index, tensor in enumerate(tensors):
+        if not tensor.requires_grad:
+            continue
+        expected = numeric_grad(func, tensors, index=index, eps=eps)
+        actual = (
+            np.zeros_like(tensor.data)
+            if analytic[index] is None
+            else analytic[index].data
+        )
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradcheck failed for input {index}: max abs error {worst:.3e}"
+            )
+    return True
+
+
+def gradgradcheck(func, tensors, eps=1e-5, atol=1e-3, rtol=1e-2):
+    """Assert second-order gradients match finite differences.
+
+    Checks ``d/dx Σ (df/dx)²`` — a scalar functional of the first gradient —
+    against central differences, exercising ``create_graph=True``.
+    """
+    tensors = list(tensors)
+
+    def grad_norm(*args):
+        output = func(*args)
+        gradients = grad(output, args, create_graph=True, allow_unused=True)
+        if isinstance(gradients, Tensor):
+            gradients = (gradients,)
+        total = None
+        for piece in gradients:
+            if piece is None:
+                continue
+            term = (piece * piece).sum()
+            total = term if total is None else total + term
+        return total
+
+    return gradcheck(grad_norm, tensors, eps=eps, atol=atol, rtol=rtol)

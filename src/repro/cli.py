@@ -1,0 +1,291 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro table1 --dataset cora --scale smoke
+    python -m repro table2 --scale small
+    python -m repro table3
+    python -m repro fig2 --dataset citeseer
+    python -m repro fig4 --scale smoke
+    python -m repro fig6 --dataset acm
+    python -m repro feature-attack --dataset citeseer
+    python -m repro inspector-zoo --dataset cora
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.experiments import (
+    SCALE_PRESETS,
+    derive_target_labels,
+    format_comparison_table,
+    format_series,
+    format_table,
+    inner_steps_sweep,
+    lambda_sweep,
+    prepare_case,
+    preliminary_inspection_study,
+    run_comparison,
+    select_victims,
+    subgraph_size_sweep,
+)
+from repro.explain import GNNExplainer, PGExplainer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of the GEAttack paper (ICDE 2023).",
+    )
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=sorted(SCALE_PRESETS),
+        help="experiment preset (graph size, victim count, seeds)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def with_dataset(name, help_text, default="cora"):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--dataset", default=default, choices=["citeseer", "cora", "acm"]
+        )
+        return cmd
+
+    with_dataset("table1", "attack comparison under GNNExplainer")
+    sub.add_parser("table2", help="attack comparison under PGExplainer (CITESEER)")
+    sub.add_parser("table3", help="dataset statistics")
+    with_dataset("fig2", "Nettack ASR by degree", default="citeseer")
+    with_dataset("fig3", "GNNExplainer detection by degree", default="citeseer")
+    with_dataset("fig4", "lambda trade-off (ASR-T/F1/NDCG)")
+    with_dataset("fig5", "detection vs explanation size L")
+    with_dataset("fig6", "detection vs inner steps T")
+    with_dataset("fig7", "PGExplainer detection by degree", default="citeseer")
+    with_dataset("fig8", "lambda effect on detection", default="citeseer")
+    with_dataset(
+        "feature-attack",
+        "extension: feature flips vs the M_F feature-mask inspector",
+        default="citeseer",
+    )
+    with_dataset(
+        "inspector-zoo",
+        "extension: detection across GNNExplainer/gradient/occlusion inspectors",
+    )
+    return parser
+
+
+def _case_and_victims(dataset, config):
+    case = prepare_case(dataset, config)
+    victims = derive_target_labels(case, select_victims(case))
+    if not victims:
+        raise SystemExit("no FGA-flippable victims; try another scale/seed")
+    return case, victims
+
+
+def _gnn_factory(case, config):
+    return lambda _graph: GNNExplainer(
+        case.model,
+        epochs=config.explainer_epochs,
+        lr=config.explainer_lr,
+        seed=case.seed + 41,
+    )
+
+
+def _preliminary(case, config, factory, title):
+    results = preliminary_inspection_study(
+        case,
+        factory,
+        degrees=range(1, 11),
+        per_degree=max(2, config.num_victims // 4),
+        detection_k=config.detection_k,
+    )
+    rows = [
+        [r.degree, r.count, f"{r.asr:.2f}", f"{r.f1:.3f}", f"{r.ndcg:.3f}"]
+        for r in results
+    ]
+    print(
+        format_table(
+            ["Degree", "Victims", "ASR", "F1@15", "NDCG@15"], rows, title=title
+        )
+    )
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    config = SCALE_PRESETS[args.scale]
+
+    if args.command == "table1":
+        print(format_comparison_table(run_comparison(args.dataset, config, "gnn")))
+    elif args.command == "table2":
+        print(format_comparison_table(run_comparison("citeseer", config, "pg")))
+    elif args.command == "table3":
+        rows = []
+        for name in ("citeseer", "cora", "acm"):
+            graph = load_dataset(name, scale=config.dataset_scale, seed=config.seed)
+            rows.append(
+                [
+                    name.upper(),
+                    graph.num_nodes,
+                    graph.num_edges,
+                    graph.num_classes,
+                    graph.num_features,
+                ]
+            )
+        print(
+            format_table(
+                ["Dataset", "Nodes", "Edges", "Classes", "Features"],
+                rows,
+                title=f"Table 3 (scale={config.dataset_scale})",
+            )
+        )
+    elif args.command in ("fig2", "fig3"):
+        case = prepare_case(args.dataset, config)
+        _preliminary(
+            case,
+            config,
+            _gnn_factory(case, config),
+            f"Figures 2/3 ({args.dataset.upper()}): Nettack vs GNNExplainer",
+        )
+    elif args.command == "fig7":
+        case = prepare_case(args.dataset, config)
+        pg = PGExplainer(
+            case.model, epochs=config.pg_epochs, seed=case.seed + 31
+        ).fit(case.graph, instances=config.pg_instances)
+        _preliminary(
+            case,
+            config,
+            lambda _graph: pg,
+            f"Figure 7 ({args.dataset.upper()}): Nettack vs PGExplainer",
+        )
+    elif args.command in ("fig4", "fig8"):
+        case, victims = _case_and_victims(args.dataset, config)
+        points = lambda_sweep(case, victims)
+        columns = (
+            ("asr_t", "f1", "ndcg")
+            if args.command == "fig4"
+            else ("precision", "recall", "f1", "ndcg")
+        )
+        print(
+            format_series(
+                "lambda",
+                points,
+                columns=columns,
+                title=f"{args.command} ({args.dataset.upper()})",
+            )
+        )
+    elif args.command == "fig5":
+        case, victims = _case_and_victims(args.dataset, config)
+        points = subgraph_size_sweep(case, victims)
+        print(
+            format_series(
+                "L",
+                points,
+                columns=("precision", "recall", "f1", "ndcg"),
+                title=f"Figure 5 ({args.dataset.upper()})",
+            )
+        )
+    elif args.command == "fig6":
+        case, victims = _case_and_victims(args.dataset, config)
+        points = inner_steps_sweep(case, victims)
+        print(
+            format_series(
+                "T",
+                points,
+                columns=("asr_t", "f1", "ndcg"),
+                title=f"Figure 6 ({args.dataset.upper()})",
+            )
+        )
+    elif args.command == "feature-attack":
+        _feature_attack(args.dataset, config)
+    elif args.command == "inspector-zoo":
+        _inspector_zoo(args.dataset, config)
+    return 0
+
+
+def _feature_attack(dataset, config):
+    """Extension: feature-flip attacks measured against the M_F inspector."""
+    from repro.attacks import FeatureFGA, GEFAttack
+    from repro.experiments import evaluate_feature_attack_method
+
+    case, victims = _case_and_victims(dataset, config)
+    factory = lambda _graph: GNNExplainer(
+        case.model,
+        epochs=config.explainer_epochs,
+        lr=config.explainer_lr,
+        seed=case.seed + 41,
+        explain_features=True,
+    )
+    rows = []
+    for attack in (
+        FeatureFGA(case.model, seed=case.seed + 71),
+        GEFAttack(case.model, seed=case.seed + 71),
+    ):
+        evaluation = evaluate_feature_attack_method(case, attack, victims, factory)
+        rows.append(
+            [
+                attack.name,
+                f"{evaluation.asr:.3f}",
+                f"{evaluation.asr_t:.3f}",
+                f"{evaluation.f1:.3f}",
+                f"{evaluation.ndcg:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Method", "ASR", "ASR-T", "F1", "NDCG"],
+            rows,
+            title=f"Feature attacks vs M_F inspector ({dataset.upper()})",
+        )
+    )
+
+
+def _inspector_zoo(dataset, config):
+    """Extension: the same attacks under different inspectors."""
+    from repro.attacks import GEAttack, Nettack
+    from repro.experiments import evaluate_attack_method
+    from repro.explain import GradExplainer, OcclusionExplainer
+
+    case, victims = _case_and_victims(dataset, config)
+    inspectors = {
+        "GNNExplainer": _gnn_factory(case, config),
+        "Gradient": lambda _graph: GradExplainer(case.model),
+        "Occlusion": lambda _graph: OcclusionExplainer(case.model),
+    }
+    rows = []
+    for attack in (
+        Nettack(case.model, seed=case.seed + 71),
+        GEAttack(
+            case.model,
+            seed=case.seed + 71,
+            lam=config.geattack_lam,
+            inner_steps=config.geattack_inner_steps,
+            inner_lr=config.geattack_inner_lr,
+        ),
+    ):
+        for name, factory in inspectors.items():
+            evaluation = evaluate_attack_method(case, attack, victims, factory)
+            rows.append(
+                [
+                    attack.name,
+                    name,
+                    f"{evaluation.f1:.3f}",
+                    f"{evaluation.ndcg:.3f}",
+                ]
+            )
+    print(
+        format_table(
+            ["Attack", "Inspector", "F1@15", "NDCG@15"],
+            rows,
+            title=f"Inspector zoo ({dataset.upper()})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

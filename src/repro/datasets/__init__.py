@@ -1,0 +1,26 @@
+"""Datasets: synthetic citation graphs matched to the paper's Table 3."""
+
+from repro.datasets.io import load_npz_graph, save_npz_graph
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    acm,
+    citeseer,
+    cora,
+    load_dataset,
+)
+from repro.datasets.splits import Split, random_split
+from repro.datasets.synthetic import CitationSpec, generate_citation_graph
+
+__all__ = [
+    "DATASET_SPECS",
+    "CitationSpec",
+    "Split",
+    "acm",
+    "citeseer",
+    "cora",
+    "generate_citation_graph",
+    "load_dataset",
+    "load_npz_graph",
+    "random_split",
+    "save_npz_graph",
+]

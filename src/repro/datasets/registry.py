@@ -1,0 +1,109 @@
+"""Named datasets matching the paper's Table 3 statistics.
+
+Table 3 (largest connected component):
+
+=========  ======  ======  =======  ========
+Dataset    Nodes   Edges   Classes  Features
+=========  ======  ======  =======  ========
+CITESEER    2,110   3,668        6     3,703
+CORA        2,485   5,069        7     1,433
+ACM         3,025  13,128        3     1,870
+=========  ======  ======  =======  ========
+
+Each loader accepts a ``scale`` in ``(0, 1]`` shrinking nodes/edges/features
+proportionally (GCN quality and attack behaviour are scale-stable; the
+benchmark harness uses a reduced scale by default so the whole suite runs on
+a laptop — ``REPRO_SCALE=full`` restores Table 3 sizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import CitationSpec, generate_citation_graph
+
+__all__ = ["citeseer", "cora", "acm", "load_dataset", "DATASET_SPECS"]
+
+DATASET_SPECS = {
+    "citeseer": CitationSpec(
+        num_nodes=2110,
+        num_edges=3668,
+        num_classes=6,
+        num_features=3703,
+        homophily=0.78,
+        degree_exponent=2.8,
+        name="citeseer",
+    ),
+    "cora": CitationSpec(
+        num_nodes=2485,
+        num_edges=5069,
+        num_classes=7,
+        num_features=1433,
+        homophily=0.83,
+        degree_exponent=2.7,
+        name="cora",
+    ),
+    "acm": CitationSpec(
+        num_nodes=3025,
+        num_edges=13128,
+        num_classes=3,
+        num_features=1870,
+        homophily=0.85,
+        degree_exponent=2.4,
+        name="acm",
+    ),
+}
+
+_MIN_FEATURES = 64
+
+
+def _scaled_spec(spec, scale):
+    """Shrink a spec by ``scale`` while keeping it usable for a GCN."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    if scale == 1.0:
+        return spec
+    num_nodes = max(80, int(round(spec.num_nodes * scale)))
+    # Preserve average degree rather than absolute edge count.
+    avg_degree = 2.0 * spec.num_edges / spec.num_nodes
+    num_edges = max(num_nodes, int(round(avg_degree * num_nodes / 2.0)))
+    num_features = max(_MIN_FEATURES, int(round(spec.num_features * scale)))
+    words = max(6, int(round(spec.topic_words_per_class * scale)))
+    return CitationSpec(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        num_classes=spec.num_classes,
+        num_features=num_features,
+        homophily=spec.homophily,
+        degree_exponent=spec.degree_exponent,
+        topic_words_per_class=words,
+        topic_word_probability=spec.topic_word_probability,
+        background_word_probability=min(
+            0.05, spec.background_word_probability / max(scale, 0.1)
+        ),
+        name=spec.name,
+    )
+
+
+def load_dataset(name, scale=1.0, seed=0):
+    """Load a named synthetic dataset at the given scale."""
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; options: {sorted(DATASET_SPECS)}")
+    spec = _scaled_spec(DATASET_SPECS[key], scale)
+    return generate_citation_graph(spec, seed=seed)
+
+
+def citeseer(scale=1.0, seed=0):
+    """CITESEER-like citation graph (Table 3 statistics at scale=1)."""
+    return load_dataset("citeseer", scale=scale, seed=seed)
+
+
+def cora(scale=1.0, seed=0):
+    """CORA-like citation graph (Table 3 statistics at scale=1)."""
+    return load_dataset("cora", scale=scale, seed=seed)
+
+
+def acm(scale=1.0, seed=0):
+    """ACM-like co-authorship graph (Table 3 statistics at scale=1)."""
+    return load_dataset("acm", scale=scale, seed=seed)

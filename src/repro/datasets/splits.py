@@ -1,0 +1,50 @@
+"""Train/validation/test node splits.
+
+The paper follows Pro-GNN / Metattack: 10% of nodes for training, 10% for
+validation, the remaining 80% for testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Split", "random_split"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """Immutable node-index split."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self):
+        overlap = (
+            set(self.train.tolist()) & set(self.val.tolist()),
+            set(self.train.tolist()) & set(self.test.tolist()),
+            set(self.val.tolist()) & set(self.test.tolist()),
+        )
+        if any(overlap):
+            raise ValueError("split partitions overlap")
+
+    @property
+    def sizes(self):
+        return (self.train.size, self.val.size, self.test.size)
+
+
+def random_split(num_nodes, seed=0, train_fraction=0.1, val_fraction=0.1):
+    """Random 10/10/80 split over node ids (the paper's protocol)."""
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train + val fractions must leave room for test")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_nodes)
+    n_train = max(1, int(round(train_fraction * num_nodes)))
+    n_val = max(1, int(round(val_fraction * num_nodes)))
+    return Split(
+        train=np.sort(order[:n_train]),
+        val=np.sort(order[n_train : n_train + n_val]),
+        test=np.sort(order[n_train + n_val :]),
+    )

@@ -1,0 +1,22 @@
+"""Defenses against the attacks in :mod:`repro.attacks`.
+
+Three philosophies from the literature, so the benchmarks can ask which
+ones GEAttack's explainer-evasion does and does not bypass:
+
+* explanation-based inspection (paper Section 3) — :class:`ExplainerDefense`
+* feature-similarity filtering (GCN-Jaccard) — :class:`JaccardDefense`
+* spectral purification (GCN-SVD) — :class:`SVDDefense`
+"""
+
+from repro.defense.inspector import ExplainerDefense, InspectionOutcome
+from repro.defense.jaccard import JaccardDefense, jaccard_similarity
+from repro.defense.svd import SVDDefense, low_rank_adjacency
+
+__all__ = [
+    "ExplainerDefense",
+    "InspectionOutcome",
+    "JaccardDefense",
+    "SVDDefense",
+    "jaccard_similarity",
+    "low_rank_adjacency",
+]

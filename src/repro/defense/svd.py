@@ -1,0 +1,96 @@
+"""GCN-SVD preprocessing defense (Entezari et al., WSDM 2020).
+
+Nettack-style perturbations are high-frequency: they connect nodes that the
+graph's dominant (low-rank) community structure would never connect, so
+they live almost entirely outside the adjacency's top singular subspace.
+Reconstructing the adjacency from its rank-``k`` truncated SVD therefore
+dampens adversarial edges while preserving the community structure the GCN
+actually uses.
+
+This is the third defense philosophy in the suite, next to
+explanation-based inspection (:mod:`repro.defense.inspector`) and
+feature-similarity filtering (:mod:`repro.defense.jaccard`): it needs no
+explainer and no features, only spectral structure — so it is the natural
+probe for whether GEAttack's *explainer*-evasion also buys *spectral*
+unnoticeability (it does not aim to).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.graph.utils import normalize_adjacency
+
+__all__ = ["SVDDefense", "low_rank_adjacency"]
+
+
+def low_rank_adjacency(adjacency, rank):
+    """Rank-``k`` truncated-SVD reconstruction of a (sparse) adjacency.
+
+    Returns a dense nonnegative symmetric matrix: the reconstruction is
+    clipped at zero (small negative ripples carry no graph meaning) and
+    re-symmetrized against numerical asymmetry.
+    """
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    rank = int(rank)
+    if rank < 1:
+        raise ValueError("rank must be at least 1")
+    max_rank = min(adjacency.shape) - 1
+    if rank > max_rank:
+        raise ValueError(f"rank {rank} exceeds the maximum {max_rank}")
+    u, s, vt = spla.svds(adjacency, k=rank)
+    reconstruction = (u * s) @ vt
+    reconstruction = np.clip(reconstruction, 0.0, None)
+    return (reconstruction + reconstruction.T) / 2.0
+
+
+class SVDDefense:
+    """Evaluate a trained GCN on the low-rank purified adjacency.
+
+    Parameters
+    ----------
+    model:
+        The (frozen) GCN whose predictions are being defended.
+    rank:
+        Truncation rank ``k`` (reference values 5-50; higher ranks keep
+        more detail *and* more perturbation).
+    """
+
+    def __init__(self, model, rank=10):
+        self.model = model
+        self.rank = int(rank)
+
+    def purified_operator(self, graph):
+        """The normalized low-rank adjacency the defended GCN runs on."""
+        purified = low_rank_adjacency(graph.adjacency, self.rank)
+        return normalize_adjacency(sp.csr_matrix(purified))
+
+    def predict(self, graph, node=None):
+        """Model predictions under the purified operator."""
+        operator = self.purified_operator(graph)
+        with no_grad():
+            logits = self.model(operator, Tensor(graph.features))
+        predictions = logits.data.argmax(axis=1)
+        return int(predictions[int(node)]) if node is not None else predictions
+
+    def edge_energy(self, graph, edges):
+        """Low-rank reconstruction weight of specific edges.
+
+        Clean structural edges keep most of their unit weight; adversarial
+        high-frequency edges reconstruct near zero.  Useful as a spectral
+        suspicion score.
+        """
+        purified = low_rank_adjacency(graph.adjacency, self.rank)
+        return np.array([purified[int(u), int(v)] for u, v in edges])
+
+    def recovery_rate(self, attack_results, true_labels):
+        """Fraction of attacked victims whose true label the defense restores."""
+        true_labels = np.asarray(true_labels)
+        restored = []
+        for result in attack_results:
+            prediction = self.predict(result.perturbed_graph, result.target_node)
+            restored.append(prediction == int(true_labels[result.target_node]))
+        return float(np.mean(restored)) if restored else float("nan")

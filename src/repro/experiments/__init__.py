@@ -1,0 +1,75 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.config import (
+    SCALE_PRESETS,
+    ExperimentConfig,
+    config_from_env,
+)
+from repro.experiments.pipeline import (
+    MethodEvaluation,
+    PreparedCase,
+    Victim,
+    derive_target_labels,
+    evaluate_attack_method,
+    evaluate_feature_attack_method,
+    prepare_case,
+    select_victims,
+)
+from repro.experiments.preliminary import (
+    DegreeBinResult,
+    preliminary_inspection_study,
+)
+from repro.experiments.reporting import (
+    format_comparison_table,
+    format_mean_std,
+    format_series,
+    format_table,
+)
+from repro.experiments.sweeps import (
+    PAPER_L_GRID,
+    PAPER_LAMBDA_GRID,
+    PAPER_T_GRID,
+    SweepPoint,
+    inner_steps_sweep,
+    lambda_sweep,
+    subgraph_size_sweep,
+)
+from repro.experiments.table_runner import (
+    METHOD_ORDER,
+    ComparisonResult,
+    aggregate_runs,
+    paper_attacks,
+    run_comparison,
+)
+
+__all__ = [
+    "SCALE_PRESETS",
+    "ExperimentConfig",
+    "config_from_env",
+    "MethodEvaluation",
+    "PreparedCase",
+    "Victim",
+    "derive_target_labels",
+    "evaluate_attack_method",
+    "evaluate_feature_attack_method",
+    "prepare_case",
+    "select_victims",
+    "DegreeBinResult",
+    "preliminary_inspection_study",
+    "format_comparison_table",
+    "format_mean_std",
+    "format_series",
+    "format_table",
+    "PAPER_L_GRID",
+    "PAPER_LAMBDA_GRID",
+    "PAPER_T_GRID",
+    "SweepPoint",
+    "inner_steps_sweep",
+    "lambda_sweep",
+    "subgraph_size_sweep",
+    "METHOD_ORDER",
+    "ComparisonResult",
+    "aggregate_runs",
+    "paper_attacks",
+    "run_comparison",
+]

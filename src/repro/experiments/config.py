@@ -1,0 +1,106 @@
+"""Experiment configuration with environment-controlled scaling.
+
+``REPRO_SCALE`` selects a preset:
+
+* ``smoke`` — seconds; CI sanity only.
+* ``small`` — minutes per table; the default for laptop benchmarking.
+* ``full``  — paper-sized graphs and victim counts (hours).
+
+Every knob can also be set explicitly; the presets only change defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ExperimentConfig", "config_from_env", "SCALE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of the reproduction pipeline.
+
+    Attributes mirror the paper's protocol (Section 5.1 and Appendix A):
+    40 victims per dataset (10 top-margin, 10 bottom-margin, 20 random),
+    evasion attacks with budget Δ = victim degree, detection at K = 15 over
+    explanations of size L = 20, averaged over ``num_seeds`` runs.
+    """
+
+    # dataset
+    dataset_scale: float = 0.15
+    seed: int = 0
+    num_seeds: int = 3
+    # GCN
+    hidden: int = 16
+    epochs: int = 200
+    learning_rate: float = 0.01
+    weight_decay: float = 5e-4
+    dropout: float = 0.5
+    # victims
+    num_victims: int = 12
+    margin_group: int = 3  # 10 in the paper's 40-victim protocol
+    min_degree: int = 1
+    max_degree: int = 10
+    # attack
+    budget_cap: int = 10
+    # GEAttack operating point.  With the default gradient normalization
+    # (``GEAttack(normalize_penalty=True)``) λ is dimensionless — λ = 1
+    # gives the attack and evasion gradients equal say — and one value
+    # transfers across datasets and seeds (a fixed raw-scale λ sits on an
+    # instance-dependent knife edge; see EXPERIMENTS.md).  Calibrated on
+    # CORA at small scale: λ = 0.7 with η = 0.1, T = 5 keeps ASR-T ≥ 0.9
+    # while lowering combined detectability below the gradient baselines —
+    # the role the paper's λ = 20 plays on its raw axis.
+    geattack_lam: float = 0.7
+    geattack_inner_steps: int = 5
+    geattack_inner_lr: float = 0.1
+    # inspection — the inspector must be run to convergence: under-optimized
+    # masks rank candidate edges by their random initialization, which buries
+    # every detection signal in noise (measured: explainer-seed consistency
+    # ρ ≈ 0 at 60 steps / lr 0.01 vs ρ ≈ 0.9 at 150 steps / lr 0.05).
+    explainer_epochs: int = 150
+    explainer_lr: float = 0.05
+    explanation_size: int = 20  # L
+    detection_k: int = 15  # K
+    # PGExplainer
+    pg_epochs: int = 15
+    pg_instances: int = 16
+
+    def with_seed(self, seed):
+        """Copy of this config with a different base seed."""
+        return replace(self, seed=int(seed))
+
+
+SCALE_PRESETS = {
+    "smoke": ExperimentConfig(
+        dataset_scale=0.06,
+        num_seeds=1,
+        num_victims=4,
+        margin_group=1,
+        explainer_epochs=80,
+        budget_cap=4,
+        pg_epochs=6,
+        pg_instances=6,
+    ),
+    "small": ExperimentConfig(),
+    "full": ExperimentConfig(
+        dataset_scale=1.0,
+        num_seeds=5,
+        num_victims=40,
+        margin_group=10,
+        explainer_epochs=300,
+        pg_epochs=20,
+        pg_instances=24,
+    ),
+}
+
+
+def config_from_env(default="small"):
+    """Read the ``REPRO_SCALE`` preset from the environment."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    if name not in SCALE_PRESETS:
+        raise KeyError(
+            f"REPRO_SCALE={name!r} unknown; options: {sorted(SCALE_PRESETS)}"
+        )
+    return SCALE_PRESETS[name]

@@ -1,0 +1,111 @@
+"""Preliminary study (paper Section 3, Figures 2, 3 and 7).
+
+Attack nodes of each degree 1..10 with Nettack (additions only), then check
+how well an explainer ranks the injected edges: high F1@15 / NDCG@15 means
+the explainer works as an adversarial-edge inspector — the observation that
+motivates GEAttack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks import Nettack
+from repro.metrics import detection_report
+
+__all__ = ["DegreeBinResult", "preliminary_inspection_study"]
+
+
+@dataclass
+class DegreeBinResult:
+    """Aggregated attack/detection outcome for one victim-degree bin."""
+
+    degree: int
+    count: int
+    asr: float
+    precision: float
+    recall: float
+    f1: float
+    ndcg: float
+
+
+def _strongest_wrong_class(probabilities, true_label):
+    """The most probable incorrect class — Nettack's untargeted direction."""
+    masked = probabilities.copy()
+    masked[int(true_label)] = -np.inf
+    return int(np.argmax(masked))
+
+
+def preliminary_inspection_study(
+    case,
+    explainer_factory,
+    degrees=range(1, 11),
+    per_degree=4,
+    detection_k=15,
+    rng=None,
+):
+    """Run the Figure 2/3 (or 7) study on a prepared case.
+
+    Parameters
+    ----------
+    case:
+        :class:`repro.experiments.pipeline.PreparedCase`.
+    explainer_factory:
+        ``callable(perturbed_graph) -> explainer`` used as the inspector.
+    degrees:
+        Victim degree bins (paper: 1..10).
+    per_degree:
+        Victims sampled per bin (paper: 40; scaled down by default).
+
+    Returns
+    -------
+    list[DegreeBinResult] — one entry per non-empty degree bin.
+    """
+    config = case.config
+    rng = rng or np.random.default_rng(case.seed + 11)
+    graph = case.graph
+    node_degrees = graph.degrees()
+    correct = case.predictions == graph.labels
+    attack = Nettack(case.model, seed=case.seed + 12)
+
+    results = []
+    for degree in degrees:
+        pool = np.flatnonzero((node_degrees == degree) & correct)
+        if pool.size == 0:
+            continue
+        victims = rng.choice(pool, size=min(per_degree, pool.size), replace=False)
+        flips, reports = [], []
+        for node in victims:
+            node = int(node)
+            target_label = _strongest_wrong_class(
+                case.probabilities[node], graph.labels[node]
+            )
+            budget = min(max(1, degree), config.budget_cap)
+            outcome = attack.attack(graph, node, target_label, budget)
+            flips.append(outcome.misclassified)
+            if not outcome.added_edges:
+                continue
+            explainer = explainer_factory(outcome.perturbed_graph)
+            explanation = explainer.explain_node(outcome.perturbed_graph, node)
+            reports.append(
+                detection_report(explanation, outcome.added_edges, k=detection_k)
+            )
+
+        def mean_of(key):
+            values = [r[key] for r in reports if not np.isnan(r[key])]
+            return float(np.mean(values)) if values else float("nan")
+
+        results.append(
+            DegreeBinResult(
+                degree=int(degree),
+                count=int(victims.size),
+                asr=float(np.mean(flips)) if flips else float("nan"),
+                precision=mean_of("precision"),
+                recall=mean_of("recall"),
+                f1=mean_of("f1"),
+                ndcg=mean_of("ndcg"),
+            )
+        )
+    return results

@@ -1,0 +1,108 @@
+"""Plain-text reporting: paper-style tables and figure series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "format_mean_std",
+    "format_table",
+    "format_comparison_table",
+    "format_series",
+    "ascii_chart",
+    "render_sweep_charts",
+]
+
+
+def format_mean_std(mean, std, percent=True):
+    """``"86.79±0.08"`` (paper convention: percentages, 2 decimals)."""
+    if np.isnan(mean):
+        return "-"
+    scale = 100.0 if percent else 1.0
+    return f"{mean * scale:.2f}±{std * scale:.2f}"
+
+
+def format_table(headers, rows, title=None):
+    """Align ``rows`` (lists of strings) under ``headers``."""
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(table):
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append(divider)
+    return "\n".join(lines)
+
+
+def format_comparison_table(comparison, metric_order=None, method_order=None):
+    """Render a :class:`ComparisonResult` in the paper's Table 1/2 layout."""
+    from repro.experiments.table_runner import METHOD_ORDER, METRIC_ORDER
+
+    methods = method_order or METHOD_ORDER
+    metrics = metric_order or METRIC_ORDER
+    summary = comparison.mean_std()
+    rows = []
+    for metric in metrics:
+        row = [metric]
+        for method in methods:
+            mean, std = summary.get(method, {}).get(
+                metric, (float("nan"), float("nan"))
+            )
+            row.append(format_mean_std(mean, std))
+        rows.append(row)
+    title = (
+        f"{comparison.dataset.upper()} — inspector: "
+        f"{'GNNExplainer' if comparison.explainer == 'gnn' else 'PGExplainer'} "
+        f"({len(comparison.runs)} runs)"
+    )
+    return format_table(["Metrics (%)"] + list(methods), rows, title=title)
+
+
+def ascii_chart(values, width=40, label=""):
+    """One-line unicode bar chart of a series (terminal 'figure').
+
+    ``NaN`` values render as spaces; the chart is normalized to the series'
+    own [min, max] range, printed after the optional ``label``.
+    """
+    blocks = " ▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return f"{label} (no data)"
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    cells = []
+    for value in values:
+        if not np.isfinite(value):
+            cells.append(" ")
+            continue
+        level = 0.5 if span == 0 else (value - low) / span
+        cells.append(blocks[int(round(level * (len(blocks) - 1)))])
+    body = "".join(cells)
+    return f"{label}{body}  [{low:.3f} … {high:.3f}]"
+
+
+def render_sweep_charts(points, columns=("asr_t", "f1", "ndcg")):
+    """Stacked :func:`ascii_chart` lines for sweep points (one per metric)."""
+    lines = []
+    width = max(len(c) for c in columns) + 2
+    for column in columns:
+        series = [getattr(p, column) for p in points]
+        lines.append(ascii_chart(series, label=f"{column:<{width}}"))
+    return "\n".join(lines)
+
+
+def format_series(x_label, points, columns=("asr_t", "f1", "ndcg"), title=None):
+    """Render sweep points (e.g. a λ grid) as an aligned series table."""
+    headers = [x_label] + [c.upper() for c in columns]
+    rows = []
+    for point in points:
+        row = [f"{point.value:g}"]
+        for column in columns:
+            value = getattr(point, column)
+            row.append("-" if np.isnan(value) else f"{value:.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,193 @@
+"""Table 1 / Table 2 runners: all attack methods × all metrics, mean ± std.
+
+Table 1 inspects with GNNExplainer on CITESEER / CORA / ACM; Table 2 swaps
+the inspector (and GEAttack's simulated explainer) for PGExplainer on
+CITESEER.  Aggregation is over ``config.num_seeds`` independent runs, as the
+paper reports 5-run averages with standard deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks import (
+    FGA,
+    FGATargeted,
+    FGATExplainerEvasion,
+    GEAttack,
+    GEAttackPG,
+    IGAttack,
+    Nettack,
+    RandomAttack,
+)
+from repro.experiments.pipeline import (
+    derive_target_labels,
+    evaluate_attack_method,
+    prepare_case,
+    select_victims,
+)
+from repro.explain import GNNExplainer, PGExplainer
+
+__all__ = [
+    "METHOD_ORDER",
+    "ComparisonResult",
+    "paper_attacks",
+    "run_comparison",
+    "aggregate_runs",
+]
+
+#: Column order of the paper's tables.
+METHOD_ORDER = ["FGA", "RNA", "FGA-T", "Nettack", "IG-Attack", "FGA-T&E", "GEAttack"]
+
+#: Metric row order of the paper's tables.
+METRIC_ORDER = ["ASR", "ASR-T", "Precision", "Recall", "F1", "NDCG"]
+
+
+@dataclass
+class ComparisonResult:
+    """All per-seed evaluations for one dataset/explainer comparison."""
+
+    dataset: str
+    explainer: str
+    runs: list = field(default_factory=list)  # list of {method: MethodEvaluation}
+
+    def mean_std(self):
+        """``{method: {metric: (mean, std)}}`` over the runs."""
+        summary = {}
+        for method in METHOD_ORDER:
+            metrics = {}
+            for metric in METRIC_ORDER:
+                values = [
+                    run[method].row()[metric]
+                    for run in self.runs
+                    if method in run and not np.isnan(run[method].row()[metric])
+                ]
+                metrics[metric] = (
+                    (float(np.mean(values)), float(np.std(values)))
+                    if values
+                    else (float("nan"), float("nan"))
+                )
+            summary[method] = metrics
+        return summary
+
+
+def paper_attacks(case, pg_explainer=None):
+    """Instantiate the seven attacks of Table 1 at the config operating point.
+
+    When ``pg_explainer`` is given, GEAttack targets PGExplainer instead
+    (Table 2, Section 5.3).
+    """
+    config = case.config
+    model = case.model
+    seed = case.seed + 21
+    if pg_explainer is None:
+        joint = GEAttack(
+            model,
+            seed=seed,
+            lam=config.geattack_lam,
+            inner_steps=config.geattack_inner_steps,
+            inner_lr=config.geattack_inner_lr,
+        )
+    else:
+        joint = GEAttackPG(
+            model,
+            pg_explainer,
+            seed=seed,
+            lam=config.geattack_lam,
+            inner_steps=min(config.geattack_inner_steps, 2),
+        )
+        joint.name = "GEAttack"
+    return [
+        FGA(model, seed=seed),
+        RandomAttack(model, seed=seed),
+        FGATargeted(model, seed=seed),
+        Nettack(model, seed=seed),
+        IGAttack(model, seed=seed),
+        FGATExplainerEvasion(
+            model,
+            seed=seed,
+            explainer_epochs=config.explainer_epochs,
+            explanation_size=config.explanation_size,
+        ),
+        joint,
+    ]
+
+
+def run_comparison(dataset, config, explainer="gnn", methods=None):
+    """Full Table 1 / Table 2 comparison on one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        ``"citeseer"`` / ``"cora"`` / ``"acm"``.
+    config:
+        :class:`repro.experiments.ExperimentConfig`.
+    explainer:
+        ``"gnn"`` (Table 1) or ``"pg"`` (Table 2).
+    methods:
+        Optional subset of :data:`METHOD_ORDER` to run.
+
+    Returns
+    -------
+    ComparisonResult
+    """
+    wanted = set(methods or METHOD_ORDER)
+    result = ComparisonResult(dataset=dataset, explainer=explainer)
+    for run_index in range(config.num_seeds):
+        case = prepare_case(dataset, config, seed=config.seed + 100 * run_index)
+        victims = derive_target_labels(case, select_victims(case))
+        if not victims:
+            continue
+        pg = None
+        if explainer == "pg":
+            pg = PGExplainer(
+                case.model,
+                epochs=config.pg_epochs,
+                seed=case.seed + 31,
+            ).fit(case.graph, instances=config.pg_instances)
+            factory = _constant_factory(pg)
+        else:
+            factory = _gnn_factory(case, config)
+        evaluations = {}
+        for attack in paper_attacks(case, pg_explainer=pg):
+            if attack.name not in wanted:
+                continue
+            evaluation = evaluate_attack_method(case, attack, victims, factory)
+            if attack.name == "FGA":
+                evaluation.asr_t = float("nan")  # paper reports "-"
+            evaluations[attack.name] = evaluation
+        result.runs.append(evaluations)
+    return result
+
+
+def aggregate_runs(runs, method, metric):
+    """Mean ± std of one metric for one method across runs."""
+    values = [
+        run[method].row()[metric]
+        for run in runs
+        if method in run and not np.isnan(run[method].row()[metric])
+    ]
+    if not values:
+        return float("nan"), float("nan")
+    return float(np.mean(values)), float(np.std(values))
+
+
+def _gnn_factory(case, config):
+    def factory(_graph):
+        return GNNExplainer(
+            case.model,
+            epochs=config.explainer_epochs,
+            lr=config.explainer_lr,
+            seed=case.seed + 41,
+        )
+
+    return factory
+
+
+def _constant_factory(explainer):
+    def factory(_graph):
+        return explainer
+
+    return factory

@@ -1,0 +1,36 @@
+"""GNN explanation methods.
+
+The paper's two explainers (GNNExplainer, PGExplainer) plus two classic
+inspector baselines (gradient saliency, leave-one-edge-out occlusion) used
+by the inspector-zoo ablation.
+"""
+
+from repro.explain.base import BaseExplainer, Explanation, subgraph_edges
+from repro.explain.ensemble import EnsembleExplainer
+from repro.explain.gnn_explainer import (
+    GNNExplainer,
+    explainer_loss,
+    symmetric_mask_probability,
+)
+from repro.explain.occlusion import OcclusionExplainer
+from repro.explain.pg_explainer import (
+    PGExplainer,
+    apply_edge_mlp,
+    masked_adjacency_from_edge_weights,
+)
+from repro.explain.saliency import GradExplainer
+
+__all__ = [
+    "BaseExplainer",
+    "EnsembleExplainer",
+    "Explanation",
+    "GNNExplainer",
+    "GradExplainer",
+    "OcclusionExplainer",
+    "PGExplainer",
+    "apply_edge_mlp",
+    "explainer_loss",
+    "masked_adjacency_from_edge_weights",
+    "subgraph_edges",
+    "symmetric_mask_probability",
+]

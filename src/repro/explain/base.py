@@ -1,0 +1,103 @@
+"""Shared explainer interfaces and the :class:`Explanation` result object.
+
+An explanation for a node's prediction is an importance weight per edge of
+the node's computation subgraph.  The paper's inspector protocol ranks these
+weights and checks whether adversarial edges appear in the top-K — so the
+ranked edge list is the central artifact here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.utils import edge_tuple
+
+__all__ = ["Explanation", "BaseExplainer", "subgraph_edges"]
+
+
+def subgraph_edges(subgraph, nodes):
+    """Existing undirected edges of a computation subgraph.
+
+    Returns ``(edges, rows, cols)`` where ``edges`` are canonical *global*
+    edge tuples (via the ``nodes`` id map) and ``rows``/``cols`` are the
+    corresponding *local* upper-triangular indices — the coordinates every
+    explainer reads its per-edge scores from.
+    """
+    coo = sp.triu(subgraph.adjacency, k=1).tocoo()
+    edges = [edge_tuple(nodes[r], nodes[c]) for r, c in zip(coo.row, coo.col)]
+    return edges, coo.row.copy(), coo.col.copy()
+
+
+@dataclass
+class Explanation:
+    """Edge-importance explanation of one node's prediction.
+
+    Attributes
+    ----------
+    node:
+        The (global id of the) explained node.
+    predicted_label:
+        The model prediction being explained.
+    edges:
+        List of canonical global edge tuples of the computation subgraph.
+    weights:
+        Importance weight per edge, aligned with ``edges``.
+    subgraph_nodes:
+        Global ids of the computation subgraph.
+    feature_weights:
+        Optional per-feature importance (``σ(M_F)``, the X_S part of the
+        paper's Eq. 2); ``None`` for structure-only explanations.
+    """
+
+    node: int
+    predicted_label: int
+    edges: list
+    weights: np.ndarray
+    subgraph_nodes: np.ndarray = field(default_factory=lambda: np.array([], int))
+    feature_weights: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if len(self.edges) != self.weights.shape[0]:
+            raise ValueError("edges and weights must align")
+
+    def ranking(self):
+        """Edges sorted by decreasing importance (ties broken stably)."""
+        order = np.argsort(-self.weights, kind="stable")
+        return [self.edges[i] for i in order]
+
+    def top_edges(self, k):
+        """The top-``k`` most important edges (the explainer's subgraph G_S)."""
+        return self.ranking()[: int(k)]
+
+    def weight_of(self, u, v):
+        """Importance weight of a specific edge, or ``nan`` if absent."""
+        wanted = edge_tuple(u, v)
+        for edge, weight in zip(self.edges, self.weights):
+            if edge == wanted:
+                return float(weight)
+        return float("nan")
+
+    def top_features(self, k):
+        """Indices of the ``k`` most important features (needs M_F)."""
+        if self.feature_weights is None:
+            raise ValueError("this explanation has no feature mask")
+        order = np.argsort(-self.feature_weights, kind="stable")
+        return order[: int(k)].tolist()
+
+    def __len__(self):
+        return len(self.edges)
+
+
+class BaseExplainer:
+    """Interface implemented by GNNExplainer and PGExplainer."""
+
+    #: number of GCN layers → hops of the computation subgraph
+    hops = 2
+
+    def explain_node(self, graph, node):
+        """Return an :class:`Explanation` for ``node`` under ``graph``."""
+        raise NotImplementedError

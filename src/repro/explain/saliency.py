@@ -1,0 +1,93 @@
+"""Gradient-saliency explainer — the classic vanilla-gradient baseline.
+
+Edge importance is the magnitude of the loss gradient with respect to the
+adjacency entry, ``|∂ℓ(f(A, X)_v, ŷ) / ∂A[u, w]|``, evaluated on the clean
+(unmasked) graph.  This is the graph analogue of input-gradient saliency
+maps for images (Simonyan et al.) and serves two roles here:
+
+* an *inspector baseline* next to GNNExplainer/PGExplainer — it needs no
+  mask optimization, so it is orders of magnitude cheaper, and the
+  inspector-zoo ablation asks how much detection power that costs;
+* a *sanity probe* for the attack family: FGA picks adversarial edges by
+  exactly this signal, so FGA edges should be maximally visible to it.
+
+Like all explainers in this package it scores the victim's 2-hop
+computation subgraph, which is the exact receptive field of the 2-layer
+GCN being explained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, grad, no_grad
+from repro.explain.base import BaseExplainer, Explanation, subgraph_edges
+from repro.graph.utils import (
+    k_hop_subgraph,
+    normalize_adjacency,
+    normalize_adjacency_tensor,
+)
+
+__all__ = ["GradExplainer"]
+
+
+class GradExplainer(BaseExplainer):
+    """Rank edges by the magnitude of the prediction-loss gradient.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`repro.nn.GCN` (frozen; only the adjacency gets a
+        gradient).
+    signed:
+        With ``signed=True`` the weight is ``-∂ℓ/∂A`` (positive = the edge
+        *supports* the explained prediction) instead of the magnitude.
+        The magnitude (default) matches the saliency-map convention and
+        flags edges that are influential in either direction.
+    """
+
+    def __init__(self, model, signed=False):
+        self.model = model
+        self.signed = bool(signed)
+
+    def explain_node(self, graph, node, label=None):
+        """Score the computation-subgraph edges of ``node`` by gradient.
+
+        ``label`` defaults to the model's prediction on ``graph`` — the
+        prediction actually being explained, as in the inspector protocol.
+        """
+        model = self.model
+        model.eval()
+        node = int(node)
+        if label is None:
+            normalized = normalize_adjacency(graph.adjacency)
+            with no_grad():
+                logits = model(normalized, Tensor(graph.features))
+            label = int(np.argmax(logits.data[node]))
+
+        subgraph, nodes, local = k_hop_subgraph(graph, node, self.hops)
+        adjacency = Tensor(subgraph.dense_adjacency(), requires_grad=True)
+        logits = model(
+            normalize_adjacency_tensor(adjacency), Tensor(subgraph.features)
+        )
+        loss = F.cross_entropy(
+            ops.reshape(logits[local], (1, logits.shape[1])),
+            np.array([int(label)]),
+        )
+        gradient = grad(loss, adjacency).data
+        # An undirected edge occupies two symmetric adjacency entries; its
+        # total influence is the sum of both partial derivatives.
+        symmetric = gradient + gradient.T
+
+        edges, rows, cols = subgraph_edges(subgraph, nodes)
+        raw = symmetric[rows, cols]
+        weights = -raw if self.signed else np.abs(raw)
+        return Explanation(
+            node=node,
+            predicted_label=int(label),
+            edges=edges,
+            weights=weights,
+            subgraph_nodes=nodes,
+        )

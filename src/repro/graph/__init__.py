@@ -1,0 +1,23 @@
+"""Graph data structures and utilities."""
+
+from repro.graph.graph import Graph
+from repro.graph.utils import (
+    edge_tuple,
+    edges_to_mask_index,
+    k_hop_nodes,
+    k_hop_subgraph,
+    normalize_adjacency,
+    normalize_adjacency_tensor,
+    row_normalize_adjacency,
+)
+
+__all__ = [
+    "Graph",
+    "edge_tuple",
+    "edges_to_mask_index",
+    "k_hop_nodes",
+    "k_hop_subgraph",
+    "normalize_adjacency",
+    "normalize_adjacency_tensor",
+    "row_normalize_adjacency",
+]

@@ -1,0 +1,145 @@
+"""Graph container used throughout the library.
+
+A :class:`Graph` bundles a symmetric, binary, self-loop-free adjacency
+matrix (scipy CSR), a dense node-feature matrix and integer node labels.
+Graphs are treated as immutable: perturbation produces a *new* graph via
+:meth:`with_edges_added` / :meth:`with_edges_removed`, which keeps attack
+bookkeeping (clean vs. corrupted graph) explicit and safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An attributed, undirected graph for node classification.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` scipy sparse (or dense array) adjacency; symmetrized,
+        binarized and self-loops stripped on construction.
+    features:
+        ``(n, d)`` dense feature matrix.
+    labels:
+        Length-``n`` integer class labels.
+    name:
+        Optional human-readable dataset name.
+    """
+
+    def __init__(self, adjacency, features, labels, name="graph"):
+        adjacency = sp.csr_matrix(adjacency)
+        adjacency = adjacency.maximum(adjacency.T)
+        adjacency.setdiag(0)
+        adjacency.eliminate_zeros()
+        adjacency.data = np.ones_like(adjacency.data)
+        self.adjacency = adjacency.astype(np.float64)
+        self.features = np.asarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.name = name
+        if self.adjacency.shape[0] != self.features.shape[0]:
+            raise ValueError(
+                f"adjacency has {self.adjacency.shape[0]} nodes but features "
+                f"have {self.features.shape[0]} rows"
+            )
+        if self.labels.shape[0] != self.num_nodes:
+            raise ValueError("labels length must equal the number of nodes")
+
+    # -- basic properties ------------------------------------------------
+    @property
+    def num_nodes(self):
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self):
+        """Number of undirected edges."""
+        return int(self.adjacency.nnz // 2)
+
+    @property
+    def num_features(self):
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self):
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def degrees(self):
+        """Integer degree of every node."""
+        return np.asarray(self.adjacency.sum(axis=1)).ravel().astype(np.int64)
+
+    def neighbors(self, node):
+        """Sorted array of neighbors of ``node``."""
+        row = self.adjacency.indices[
+            self.adjacency.indptr[node] : self.adjacency.indptr[node + 1]
+        ]
+        return np.sort(row)
+
+    def has_edge(self, u, v):
+        return bool(self.adjacency[u, v] != 0)
+
+    def edge_set(self):
+        """Set of undirected edges as sorted tuples ``(min, max)``."""
+        coo = sp.triu(self.adjacency, k=1).tocoo()
+        return {(int(r), int(c)) for r, c in zip(coo.row, coo.col)}
+
+    def dense_adjacency(self):
+        """Dense float64 copy of the adjacency matrix."""
+        return np.asarray(self.adjacency.todense(), dtype=np.float64)
+
+    # -- perturbation (returns new graphs) ---------------------------------
+    def with_edges_added(self, edges):
+        """Return a new graph with the given undirected ``edges`` added."""
+        return self._with_edges(edges, value=1.0)
+
+    def with_edges_removed(self, edges):
+        """Return a new graph with the given undirected ``edges`` removed."""
+        return self._with_edges(edges, value=0.0)
+
+    def _with_edges(self, edges, value):
+        adjacency = self.adjacency.tolil(copy=True)
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop ({u}, {v}) is not allowed")
+            adjacency[u, v] = value
+            adjacency[v, u] = value
+        return Graph(adjacency.tocsr(), self.features, self.labels, name=self.name)
+
+    def copy(self):
+        return Graph(
+            self.adjacency.copy(), self.features.copy(), self.labels.copy(), self.name
+        )
+
+    # -- substructure -------------------------------------------------------
+    def subgraph(self, nodes):
+        """Induced subgraph on ``nodes`` (relabelled 0..len(nodes)-1)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        sub_adj = self.adjacency[nodes][:, nodes]
+        return Graph(
+            sub_adj, self.features[nodes], self.labels[nodes], name=self.name
+        )
+
+    def largest_connected_component(self):
+        """Return ``(graph, node_index)`` restricted to the LCC.
+
+        The paper (following Metattack) evaluates on the largest connected
+        component of every dataset; ``node_index`` maps new ids to old ids.
+        """
+        count, assignment = sp.csgraph.connected_components(
+            self.adjacency, directed=False
+        )
+        if count <= 1:
+            return self.copy(), np.arange(self.num_nodes)
+        sizes = np.bincount(assignment)
+        keep = np.flatnonzero(assignment == sizes.argmax())
+        return self.subgraph(keep), keep
+
+    def __repr__(self):
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, features={self.num_features}, "
+            f"classes={self.num_classes})"
+        )

@@ -1,0 +1,134 @@
+"""Graph utilities: normalization, k-hop computation subgraphs, edge algebra.
+
+Two adjacency-normalization implementations exist on purpose:
+
+* :func:`normalize_adjacency` — scipy sparse, constant, used to train the
+  GCN on the fixed clean graph.
+* :func:`normalize_adjacency_tensor` — differentiable tensor version used
+  on the *perturbed* adjacency inside attacks, where gradients with respect
+  to individual adjacency entries (through the degree terms too) are needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, astensor
+
+__all__ = [
+    "normalize_adjacency",
+    "normalize_adjacency_tensor",
+    "row_normalize_adjacency",
+    "k_hop_nodes",
+    "k_hop_subgraph",
+    "edge_tuple",
+    "edges_to_mask_index",
+]
+
+
+def normalize_adjacency(adjacency, self_loops=True):
+    """Symmetric GCN normalization ``D̃^{-1/2}(A+I)D̃^{-1/2}`` (sparse)."""
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    if self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    scaling = sp.diags(inv_sqrt)
+    return (scaling @ adjacency @ scaling).tocsr()
+
+
+def normalize_adjacency_tensor(adjacency, self_loops=True):
+    """Differentiable symmetric normalization of a dense adjacency tensor.
+
+    Gradient flows through both the edge entries and the degree terms,
+    matching what a PyTorch implementation of the attacks differentiates.
+    """
+    adjacency = astensor(adjacency)
+    n = adjacency.shape[0]
+    if self_loops:
+        adjacency = adjacency + Tensor(np.eye(n))
+    degrees = ops.tensor_sum(adjacency, axis=1)
+    inv_sqrt = ops.power(degrees, -0.5)
+    row = ops.reshape(inv_sqrt, (n, 1))
+    col = ops.reshape(inv_sqrt, (1, n))
+    return adjacency * row * col
+
+
+def row_normalize_adjacency(adjacency, self_loops=True):
+    """Row-stochastic normalization ``D̃^{-1}(A+I)`` (mean aggregator)."""
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    if self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inverse = 1.0 / degrees
+    inverse[~np.isfinite(inverse)] = 0.0
+    return (sp.diags(inverse) @ adjacency).tocsr()
+
+
+def k_hop_nodes(adjacency, node, hops):
+    """Nodes within ``hops`` of ``node`` (inclusive), sorted ascending."""
+    adjacency = sp.csr_matrix(adjacency)
+    frontier = {int(node)}
+    visited = {int(node)}
+    for _ in range(hops):
+        next_frontier = set()
+        for current in frontier:
+            start, stop = adjacency.indptr[current], adjacency.indptr[current + 1]
+            next_frontier.update(int(j) for j in adjacency.indices[start:stop])
+        next_frontier -= visited
+        visited |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return np.array(sorted(visited), dtype=np.int64)
+
+
+def k_hop_subgraph(graph, node, hops, extra_nodes=()):
+    """Extract the ``hops``-hop computation subgraph around ``node``.
+
+    This is the receptive field of a ``hops``-layer GCN at ``node``; the
+    explainers (and GEAttack's inner loop) operate on it instead of the full
+    graph, which is both what the reference GNNExplainer implementation does
+    and what keeps second-order differentiation tractable.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graph.Graph`.
+    node:
+        Center node (global id).
+    extra_nodes:
+        Additional global node ids forced into the subgraph (e.g. candidate
+        endpoints of adversarial edges).
+
+    Returns
+    -------
+    (subgraph, nodes, local_index)
+        ``subgraph`` is an induced :class:`Graph`, ``nodes`` maps local ids
+        to global ids, and ``local_index`` is the center node's local id.
+    """
+    nodes = set(k_hop_nodes(graph.adjacency, node, hops).tolist())
+    nodes.update(int(v) for v in extra_nodes)
+    nodes = np.array(sorted(nodes), dtype=np.int64)
+    local_index = int(np.searchsorted(nodes, node))
+    return graph.subgraph(nodes), nodes, local_index
+
+
+def edge_tuple(u, v):
+    """Canonical (sorted) undirected edge tuple."""
+    u, v = int(u), int(v)
+    return (u, v) if u < v else (v, u)
+
+
+def edges_to_mask_index(edges, node_to_local):
+    """Map global edge tuples to local index pairs, skipping absent nodes."""
+    local_edges = []
+    for u, v in edges:
+        if u in node_to_local and v in node_to_local:
+            local_edges.append((node_to_local[u], node_to_local[v]))
+    return local_edges

@@ -1,0 +1,35 @@
+"""Evaluation metrics: attack success and explainer-detection rates."""
+
+from repro.metrics.attack_metrics import (
+    attack_success_rate,
+    attack_success_rate_targeted,
+    prediction_margin,
+)
+from repro.metrics.detection import (
+    detection_report,
+    f1_at_k,
+    feature_detection_report,
+    ndcg_at_k,
+    precision_at_k,
+    ranked_f1_at_k,
+    ranked_ndcg_at_k,
+    ranked_precision_at_k,
+    ranked_recall_at_k,
+    recall_at_k,
+)
+
+__all__ = [
+    "attack_success_rate",
+    "attack_success_rate_targeted",
+    "detection_report",
+    "f1_at_k",
+    "feature_detection_report",
+    "ndcg_at_k",
+    "precision_at_k",
+    "prediction_margin",
+    "ranked_f1_at_k",
+    "ranked_ndcg_at_k",
+    "ranked_precision_at_k",
+    "ranked_recall_at_k",
+    "recall_at_k",
+]

@@ -1,0 +1,38 @@
+"""Attack-success metrics: ASR and ASR-T (paper Appendix A.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["attack_success_rate", "attack_success_rate_targeted", "prediction_margin"]
+
+
+def attack_success_rate(results):
+    """ASR: fraction of victims whose prediction changed to *any* wrong label.
+
+    ``results`` is an iterable of :class:`repro.attacks.AttackResult`.
+    """
+    results = list(results)
+    if not results:
+        return float("nan")
+    return float(np.mean([bool(r.misclassified) for r in results]))
+
+
+def attack_success_rate_targeted(results):
+    """ASR-T: fraction of victims predicted exactly as the target label."""
+    results = list(results)
+    if not results:
+        return float("nan")
+    return float(np.mean([bool(r.hit_target) for r in results]))
+
+
+def prediction_margin(probabilities, label):
+    """Classification margin ``p[label] − max_{c≠label} p[c]``.
+
+    Used for the paper's victim-selection protocol (10 most / 10 least
+    confidently classified nodes plus 20 random).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    label = int(label)
+    others = np.delete(probabilities, label)
+    return float(probabilities[label] - others.max())

@@ -1,0 +1,37 @@
+"""Neural-network substrate: modules, layers, optimizers, models, training."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Dropout,
+    GCNConv,
+    Linear,
+    ReLU,
+    Sequential,
+    adjacency_matmul,
+)
+from repro.nn.models import GCN, MLP, GraphSAGE, LinearizedGCN
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn.trainer import TrainResult, accuracy, train_node_classifier
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Dropout",
+    "GCNConv",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "adjacency_matmul",
+    "GCN",
+    "MLP",
+    "GraphSAGE",
+    "LinearizedGCN",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "TrainResult",
+    "accuracy",
+    "train_node_classifier",
+    "init",
+]

@@ -1,0 +1,29 @@
+"""Weight initialization schemes (explicit RNG, reproducible)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "glorot_normal", "uniform", "zeros"]
+
+
+def glorot_uniform(rng, fan_in, fan_out):
+    """Glorot/Xavier uniform initialization, as used by Kipf & Welling GCN."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def glorot_normal(rng, fan_in, fan_out):
+    """Glorot/Xavier normal initialization."""
+    scale = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+def uniform(rng, shape, low=-0.05, high=0.05):
+    """Plain uniform initialization."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape):
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,121 @@
+"""Neural-network layers: Linear, GCNConv, Dropout.
+
+``GCNConv`` accepts the normalized adjacency either as a constant scipy
+sparse matrix (fast path for training on a fixed graph) or as a dense
+:class:`~repro.autodiff.Tensor` (differentiable path used by the attacks,
+where gradients with respect to adjacency entries are needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autodiff import functional as F
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, astensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["adjacency_matmul", "Linear", "GCNConv", "Dropout", "Sequential", "ReLU"]
+
+
+def adjacency_matmul(adjacency, features):
+    """Multiply an adjacency operator with a dense feature tensor.
+
+    * scipy sparse matrix → constant sparse product (:func:`repro.autodiff.spmm`)
+    * :class:`Tensor` / ndarray → dense differentiable matmul
+    """
+    if sp.issparse(adjacency):
+        return ops.spmm(adjacency.tocsr(), features)
+    return ops.matmul(astensor(adjacency), features)
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(self, in_features, out_features, rng, bias=True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, inputs):
+        out = ops.matmul(astensor(inputs), self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class GCNConv(Module):
+    """One graph-convolution layer: ``Ã (X W) + b`` (Kipf & Welling).
+
+    The normalized adjacency ``Ã`` is supplied at call time so the same
+    trained weights can be evaluated under perturbed (and differentiable)
+    adjacency matrices during attacks.
+    """
+
+    def __init__(self, in_features, out_features, rng, bias=True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, out_features))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, adjacency, features):
+        support = ops.matmul(astensor(features), self.weight)
+        out = adjacency_matmul(adjacency, support)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return f"GCNConv({self.in_features}, {self.out_features})"
+
+
+class Dropout(Module):
+    """Inverted dropout module with its own RNG stream."""
+
+    def __init__(self, p, rng):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, inputs):
+        return F.dropout(inputs, self.p, self._rng, training=self.training)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"
+
+
+class ReLU(Module):
+    """Elementwise rectifier as a module (for Sequential pipelines)."""
+
+    def forward(self, inputs):
+        return ops.relu(astensor(inputs))
+
+
+class Sequential(Module):
+    """Apply modules in order; each must be unary."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, inputs):
+        out = inputs
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+    def __getitem__(self, index):
+        return self.layers[index]
+
+    def __len__(self):
+        return len(self.layers)

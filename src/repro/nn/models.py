@@ -1,0 +1,164 @@
+"""Model zoo: the paper's 2-layer GCN, an MLP head, and Nettack's surrogate.
+
+The GCN is exactly the architecture of Eq. (1) in the paper:
+``f(A, X) = softmax(Ã σ(Ã X W1) W2)`` with symmetric normalization
+``Ã = D̃^{-1/2}(A + I)D̃^{-1/2}``.  Models return *logits*; apply
+:func:`repro.autodiff.log_softmax` (or ``predict_proba``) on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, astensor, no_grad
+from repro.nn.layers import Dropout, GCNConv, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+
+__all__ = ["GCN", "MLP", "LinearizedGCN", "GraphSAGE"]
+
+
+class GCN(Module):
+    """Two-layer graph convolutional network (Kipf & Welling, ICLR 2017).
+
+    Parameters
+    ----------
+    in_features, hidden, num_classes:
+        Layer dimensions.
+    rng:
+        ``numpy.random.Generator`` for initialization and dropout.
+    dropout:
+        Dropout probability applied to the hidden representation.
+    """
+
+    def __init__(self, in_features, hidden, num_classes, rng, dropout=0.5):
+        super().__init__()
+        self.conv1 = GCNConv(in_features, hidden, rng)
+        self.conv2 = GCNConv(hidden, num_classes, rng)
+        self.dropout = Dropout(dropout, rng)
+        self.num_classes = num_classes
+
+    def forward(self, adjacency, features):
+        """Return logits ``(n, C)`` under the given *normalized* adjacency."""
+        hidden = ops.relu(self.conv1(adjacency, features))
+        hidden = self.dropout(hidden)
+        return self.conv2(adjacency, hidden)
+
+    def hidden_representation(self, adjacency, features):
+        """First-layer post-activation embeddings (used by PGExplainer)."""
+        return ops.relu(self.conv1(adjacency, features))
+
+    def predict_proba(self, adjacency, features):
+        """Softmax probabilities, computed without recording a graph."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                probs = F.softmax(self.forward(adjacency, features), axis=-1)
+        finally:
+            self.train(was_training)
+        return probs.data
+
+    def predict(self, adjacency, features):
+        """Hard label predictions (argmax of logits)."""
+        return self.predict_proba(adjacency, features).argmax(axis=-1)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations (PGExplainer's head)."""
+
+    def __init__(self, layer_sizes, rng, dropout=0.0):
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.linears = [
+            Linear(fan_in, fan_out, rng)
+            for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:])
+        ]
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, inputs):
+        out = astensor(inputs)
+        last = len(self.linears) - 1
+        for index, layer in enumerate(self.linears):
+            out = layer(out)
+            if index != last:
+                out = ops.relu(out)
+                if self.dropout is not None:
+                    out = self.dropout(out)
+        return out
+
+
+class GraphSAGE(Module):
+    """Two-layer GraphSAGE with the mean aggregator (Hamilton et al. 2017).
+
+    ``h = relu([X ; Â_row X] W1)``, ``out = [h ; Â_row h] W2`` where
+    ``Â_row`` is the row-stochastic adjacency
+    (:func:`repro.graph.row_normalize_adjacency`).  Used as the black-box
+    transfer victim in the transferability extension — attacks computed on
+    the GCN are evaluated against an independently trained GraphSAGE.
+    """
+
+    def __init__(self, in_features, hidden, num_classes, rng, dropout=0.5):
+        super().__init__()
+        self.lin1 = Linear(2 * in_features, hidden, rng)
+        self.lin2 = Linear(2 * hidden, num_classes, rng)
+        self.dropout = Dropout(dropout, rng)
+        self.num_classes = num_classes
+
+    def forward(self, adjacency, features):
+        """Logits under a *row-normalized* adjacency operator."""
+        from repro.autodiff.ops import concatenate
+        from repro.nn.layers import adjacency_matmul
+
+        features = astensor(features)
+        aggregated = adjacency_matmul(adjacency, features)
+        hidden = ops.relu(self.lin1(concatenate([features, aggregated], axis=1)))
+        hidden = self.dropout(hidden)
+        aggregated_hidden = adjacency_matmul(adjacency, hidden)
+        return self.lin2(concatenate([hidden, aggregated_hidden], axis=1))
+
+    def predict(self, adjacency, features):
+        """Hard label predictions under the given operator."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                logits = self.forward(adjacency, features)
+        finally:
+            self.train(was_training)
+        return logits.data.argmax(axis=-1)
+
+
+class LinearizedGCN(Module):
+    """Nettack's surrogate: the GCN with non-linearities removed.
+
+    ``logits = Ã² X W`` with a single weight matrix ``W``; Zügner et al.
+    show attack scores on this surrogate transfer to the non-linear GCN.
+    It can either be trained directly or distilled from a trained GCN by
+    multiplying its two weight matrices (``from_gcn``).
+    """
+
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.weight = Parameter(init.glorot_uniform(rng, in_features, num_classes))
+
+    def forward(self, adjacency, features):
+        from repro.nn.layers import adjacency_matmul
+
+        support = ops.matmul(astensor(features), self.weight)
+        once = adjacency_matmul(adjacency, support)
+        return adjacency_matmul(adjacency, once)
+
+    @classmethod
+    def from_gcn(cls, gcn, rng=None):
+        """Distill ``W = W1 @ W2`` from a trained :class:`GCN`."""
+        rng = rng or np.random.default_rng(0)
+        in_features = gcn.conv1.weight.shape[0]
+        num_classes = gcn.conv2.weight.shape[1]
+        surrogate = cls(in_features, num_classes, rng)
+        with no_grad():
+            surrogate.weight.data = gcn.conv1.weight.data @ gcn.conv2.weight.data
+        return surrogate

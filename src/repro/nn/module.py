@@ -1,0 +1,106 @@
+"""Minimal module system: parameters, submodule traversal, train/eval mode."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a trainable parameter (``requires_grad=True``)."""
+
+    __slots__ = ()
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural-network modules.
+
+    Submodules and parameters are discovered through instance attributes
+    (including inside plain lists), mirroring the familiar PyTorch API
+    surface: ``parameters``, ``named_parameters``, ``train``, ``eval``,
+    ``zero_grad``, ``state_dict`` and ``load_state_dict``.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal -------------------------------------------------------
+    def named_parameters(self, prefix=""):
+        """Yield ``(name, Parameter)`` pairs for this module and children."""
+        for name, value in sorted(vars(self).items()):
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{index}.")
+
+    def parameters(self):
+        """Return the list of all parameters of this module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self):
+        """Yield this module and all descendant modules."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- mode & gradient management ---------------------------------------
+    def train(self, mode=True):
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.grad = None
+
+    # -- (de)serialization -------------------------------------------------
+    def state_dict(self):
+        """Return a name → numpy-array snapshot of all parameters."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        """Load parameter values in-place from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        with no_grad():
+            for name, param in own.items():
+                value = np.asarray(state[name], dtype=np.float64)
+                if value.shape != param.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {value.shape} vs {param.shape}"
+                    )
+                param.data = value.copy()
+        return self

@@ -1,0 +1,100 @@
+"""First-order optimizers (SGD with momentum, Adam).
+
+Optimizers consume explicit gradient lists returned by
+:func:`repro.autodiff.grad`; parameter updates happen in-place on the
+``.data`` arrays, outside of the autodiff graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class holding a parameter list."""
+
+    def __init__(self, parameters):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+
+    def step(self, gradients):
+        """Apply one update from ``gradients`` aligned with ``parameters``."""
+        raise NotImplementedError
+
+    def _check(self, gradients):
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"got {len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters, lr=0.01, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self, gradients):
+        self._check(gradients)
+        for param, grad_tensor, velocity in zip(
+            self.parameters, gradients, self._velocity
+        ):
+            if grad_tensor is None:
+                continue
+            update = grad_tensor.data
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += update
+                update = velocity
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with decoupled-free L2 weight decay."""
+
+    def __init__(
+        self,
+        parameters,
+        lr=0.01,
+        betas=(0.9, 0.999),
+        eps=1e-8,
+        weight_decay=0.0,
+    ):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self, gradients):
+        self._check(gradients)
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, grad_tensor, m, v in zip(
+            self.parameters, gradients, self._first_moment, self._second_moment
+        ):
+            if grad_tensor is None:
+                continue
+            update = grad_tensor.data
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * update
+            v *= self.beta2
+            v += (1.0 - self.beta2) * update * update
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,119 @@
+"""Full-batch training loop for node classification with early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autodiff import functional as F
+from repro.autodiff.tensor import Tensor, grad, no_grad
+from repro.nn.optim import Adam
+
+__all__ = ["TrainResult", "train_node_classifier", "accuracy"]
+
+
+def accuracy(logits_data, labels, index=None):
+    """Fraction of correct argmax predictions on ``index`` (or all nodes)."""
+    predictions = np.asarray(logits_data).argmax(axis=-1)
+    labels = np.asarray(labels)
+    if index is not None:
+        predictions = predictions[index]
+        labels = labels[index]
+    if labels.size == 0:
+        return float("nan")
+    return float((predictions == labels).mean())
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :func:`train_node_classifier`."""
+
+    best_epoch: int
+    best_val_accuracy: float
+    train_losses: list = field(default_factory=list)
+    val_accuracies: list = field(default_factory=list)
+    test_accuracy: float = float("nan")
+
+
+def train_node_classifier(
+    model,
+    adjacency,
+    features,
+    labels,
+    train_index,
+    val_index,
+    test_index=None,
+    epochs=200,
+    lr=0.01,
+    weight_decay=5e-4,
+    patience=30,
+    verbose=False,
+):
+    """Train ``model`` full-batch with Adam and validation early stopping.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.nn.Module` mapping ``(adjacency, features)`` to
+        logits; trained in-place, restored to the best validation state.
+    adjacency:
+        Normalized adjacency (scipy sparse matrix recommended; constant).
+    features:
+        ``(n, d)`` feature matrix (array or Tensor).
+    labels:
+        Length-``n`` integer labels.
+    train_index, val_index, test_index:
+        Integer node-index arrays for the splits.
+
+    Returns
+    -------
+    TrainResult
+        Training curves and the best validation / final test accuracy.
+    """
+    labels = np.asarray(labels)
+    features = features if isinstance(features, Tensor) else Tensor(features)
+    params = model.parameters()
+    optimizer = Adam(params, lr=lr, weight_decay=weight_decay)
+
+    best_state = model.state_dict()
+    best_val = -np.inf
+    best_epoch = -1
+    since_best = 0
+    result = TrainResult(best_epoch=-1, best_val_accuracy=0.0)
+
+    for epoch in range(epochs):
+        model.train()
+        logits = model(adjacency, features)
+        loss = F.cross_entropy(logits[train_index], labels[train_index])
+        gradients = grad(loss, params, allow_unused=True)
+        optimizer.step(gradients)
+
+        model.eval()
+        with no_grad():
+            eval_logits = model(adjacency, features)
+        val_acc = accuracy(eval_logits.data, labels, val_index)
+        result.train_losses.append(loss.item())
+        result.val_accuracies.append(val_acc)
+        if verbose and epoch % 20 == 0:
+            print(f"epoch {epoch:4d} loss {loss.item():.4f} val_acc {val_acc:.4f}")
+
+        if val_acc > best_val:
+            best_val = val_acc
+            best_epoch = epoch
+            best_state = model.state_dict()
+            since_best = 0
+        else:
+            since_best += 1
+            if since_best >= patience:
+                break
+
+    model.load_state_dict(best_state)
+    model.eval()
+    result.best_epoch = best_epoch
+    result.best_val_accuracy = float(best_val)
+    if test_index is not None:
+        with no_grad():
+            final_logits = model(adjacency, features)
+        result.test_accuracy = accuracy(final_logits.data, labels, test_index)
+    return result

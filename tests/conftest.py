@@ -1,0 +1,91 @@
+"""Shared fixtures: tiny deterministic graphs and a trained GCN case.
+
+Heavy fixtures are session-scoped so the whole suite stays laptop-fast; all
+randomness flows through fixed seeds, never global state.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import CitationSpec, generate_citation_graph, random_split
+from repro.graph import normalize_adjacency
+from repro.nn import GCN, train_node_classifier
+
+TINY_SPEC = CitationSpec(
+    num_nodes=110,
+    num_edges=260,
+    num_classes=4,
+    num_features=48,
+    homophily=0.82,
+    topic_words_per_class=8,
+    topic_word_probability=0.25,
+    background_word_probability=0.02,
+    name="tiny",
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A deterministic ~100-node citation-like graph."""
+    return generate_citation_graph(TINY_SPEC, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_graph):
+    return random_split(tiny_graph.num_nodes, seed=6, train_fraction=0.3)
+
+
+@pytest.fixture(scope="session")
+def trained_model(tiny_graph, tiny_split):
+    """A GCN trained to usable accuracy on the tiny graph."""
+    rng = np.random.default_rng(7)
+    model = GCN(tiny_graph.num_features, 12, tiny_graph.num_classes, rng, dropout=0.3)
+    result = train_node_classifier(
+        model,
+        normalize_adjacency(tiny_graph.adjacency),
+        tiny_graph.features,
+        tiny_graph.labels,
+        tiny_split.train,
+        tiny_split.val,
+        tiny_split.test,
+        epochs=150,
+        patience=40,
+    )
+    assert result.test_accuracy > 0.4, "fixture model failed to train"
+    return model
+
+
+@pytest.fixture(scope="session")
+def clean_predictions(tiny_graph, trained_model):
+    return trained_model.predict(
+        normalize_adjacency(tiny_graph.adjacency), tiny_graph.features
+    )
+
+
+@pytest.fixture(scope="session")
+def flippable_victim(tiny_graph, trained_model, clean_predictions):
+    """(node, target_label, budget) for a victim plain FGA can flip."""
+    from repro.attacks import FGA
+
+    degrees = tiny_graph.degrees()
+    attack = FGA(trained_model, seed=11)
+    for node in np.flatnonzero(
+        (clean_predictions == tiny_graph.labels) & (degrees >= 2) & (degrees <= 6)
+    ):
+        node = int(node)
+        result = attack.attack(tiny_graph, node, None, int(degrees[node]))
+        if result.misclassified:
+            return node, int(result.final_prediction), int(degrees[node])
+    pytest.skip("no flippable victim on the tiny graph")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

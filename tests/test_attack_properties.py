@@ -1,0 +1,113 @@
+"""Property-based tests on attack invariants and the degree-test statistic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import RandomAttack
+from repro.attacks.nettack import degree_test_statistic
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=40), min_size=10, max_size=60)
+)
+def test_degree_test_statistic_nonnegative(degrees):
+    """Separate fits always beat the pooled fit: the LLR statistic is ≥ 0."""
+    degrees = np.asarray(degrees, dtype=float)
+    modified = degrees.copy()
+    modified[0] += 1
+    statistic = degree_test_statistic(degrees, modified)
+    assert statistic >= -1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_degree_test_identity_is_zero(seed):
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(1, 30, size=50).astype(float)
+    assert degree_test_statistic(degrees, degrees.copy()) == pytest.approx(
+        0.0, abs=1e-9
+    )
+
+
+class TestPerturbationInvariants:
+    """Every attack must preserve the structural invariants of Graph."""
+
+    @pytest.fixture(scope="class")
+    def all_results(self, tiny_graph, trained_model, flippable_victim):
+        from repro.attacks import (
+            FGA,
+            FGATargeted,
+            GEAttack,
+            IGAttack,
+            Nettack,
+            RandomAttack,
+        )
+
+        node, target_label, budget = flippable_victim
+        attacks = [
+            RandomAttack(trained_model, seed=2),
+            FGA(trained_model, seed=2),
+            FGATargeted(trained_model, seed=2),
+            Nettack(trained_model, seed=2),
+            IGAttack(trained_model, seed=2, steps=4),
+            GEAttack(trained_model, seed=2, inner_steps=1),
+        ]
+        return [
+            (a.name, a.attack(tiny_graph, node, target_label, min(budget, 3)))
+            for a in attacks
+        ]
+
+    def test_adjacency_stays_symmetric(self, all_results):
+        for name, result in all_results:
+            adjacency = result.perturbed_graph.adjacency
+            assert (adjacency != adjacency.T).nnz == 0, name
+
+    def test_adjacency_stays_binary(self, all_results):
+        for name, result in all_results:
+            assert set(np.unique(result.perturbed_graph.adjacency.data)) <= {
+                1.0
+            }, name
+
+    def test_no_self_loops(self, all_results):
+        for name, result in all_results:
+            assert result.perturbed_graph.adjacency.diagonal().sum() == 0, name
+
+    def test_only_additions(self, all_results, tiny_graph):
+        for name, result in all_results:
+            difference = result.perturbed_graph.adjacency - tiny_graph.adjacency
+            assert difference.min() >= 0, name
+
+    def test_features_untouched(self, all_results, tiny_graph):
+        for name, result in all_results:
+            assert np.array_equal(
+                result.perturbed_graph.features, tiny_graph.features
+            ), name
+
+    def test_added_edges_reported_exactly(self, all_results, tiny_graph):
+        for name, result in all_results:
+            difference = (
+                result.perturbed_graph.adjacency - tiny_graph.adjacency
+            ).tocoo()
+            actual = {
+                (min(r, c), max(r, c))
+                for r, c in zip(difference.row, difference.col)
+            }
+            assert actual == set(result.added_edges), name
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_random_attack_seed_determinism(seed):
+    """Same seed → same edges, regardless of the seed value chosen."""
+    from repro.datasets import CitationSpec, generate_citation_graph
+    from repro.nn import GCN
+
+    spec = CitationSpec(40, 70, 3, 12, name="prop")
+    graph = generate_citation_graph(spec, seed=1)
+    model = GCN(12, 4, 3, np.random.default_rng(0))
+    a = RandomAttack(model, seed=seed).attack(graph, 0, 1, 2)
+    b = RandomAttack(model, seed=seed).attack(graph, 0, 1, 2)
+    assert a.added_edges == b.added_edges

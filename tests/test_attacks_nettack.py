@@ -1,0 +1,119 @@
+"""Nettack: power-law degree test, surrogate scoring, end-to-end attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import Nettack
+from repro.attacks.nettack import (
+    DEGREE_TEST_THRESHOLD,
+    degree_preserving_candidates,
+    degree_test_statistic,
+    estimate_powerlaw_alpha,
+    powerlaw_log_likelihood,
+)
+
+
+class TestPowerLawEstimation:
+    def test_alpha_recovers_generating_exponent(self):
+        rng = np.random.default_rng(0)
+        true_alpha = 2.5
+        # Discrete power-law degrees: the estimator uses Clauset's
+        # d_min − 0.5 continuity correction, so sample from x_min = 1.5 and
+        # round to integers (the standard recipe for synthetic discrete data).
+        continuous = 1.5 * (1.0 - rng.random(40000)) ** (-1.0 / (true_alpha - 1.0))
+        samples = np.rint(continuous)
+        estimated = estimate_powerlaw_alpha(samples, d_min=2)
+        assert estimated == pytest.approx(true_alpha, abs=0.2)
+
+    def test_alpha_empty_tail(self):
+        assert estimate_powerlaw_alpha(np.array([1, 1, 1]), d_min=2) == 1.0
+
+    def test_log_likelihood_prefers_fitted_alpha(self):
+        rng = np.random.default_rng(1)
+        samples = 2.0 * (1.0 - rng.random(5000)) ** (-1.0 / 1.8)
+        fitted = estimate_powerlaw_alpha(samples)
+        ll_fitted = powerlaw_log_likelihood(samples, fitted)
+        ll_other = powerlaw_log_likelihood(samples, fitted + 1.0)
+        assert ll_fitted > ll_other
+
+
+class TestDegreeTest:
+    def test_identical_sequences_pass(self, tiny_graph):
+        degrees = tiny_graph.degrees()
+        statistic = degree_test_statistic(degrees, degrees.copy())
+        assert statistic < DEGREE_TEST_THRESHOLD
+
+    def test_single_edge_addition_is_unnoticeable(self, tiny_graph):
+        degrees = tiny_graph.degrees().astype(float)
+        modified = degrees.copy()
+        modified[0] += 1
+        modified[1] += 1
+        assert degree_test_statistic(degrees, modified) < DEGREE_TEST_THRESHOLD
+
+    def test_mass_rewiring_is_noticeable(self, tiny_graph):
+        degrees = tiny_graph.degrees().astype(float)
+        modified = degrees.copy()
+        modified[:] = degrees.max() + 20  # grotesque distortion
+        assert degree_test_statistic(degrees, modified) > DEGREE_TEST_THRESHOLD
+
+    def test_filter_returns_subset(self, tiny_graph):
+        degrees = tiny_graph.degrees()
+        candidates = np.arange(5, 25)
+        kept = degree_preserving_candidates(degrees, 0, candidates)
+        assert set(kept.tolist()) <= set(candidates.tolist())
+
+
+class TestNettackAttack:
+    def test_flips_flippable_victim(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target_label, budget = flippable_victim
+        result = Nettack(trained_model, seed=0).attack(
+            tiny_graph, node, target_label, budget
+        )
+        assert result.misclassified
+
+    def test_budget_and_incidence(self, tiny_graph, trained_model):
+        result = Nettack(trained_model, seed=0).attack(tiny_graph, 10, 0, 3)
+        assert len(result.added_edges) <= 3
+        assert all(10 in edge for edge in result.added_edges)
+
+    def test_candidates_have_target_label(self, tiny_graph, trained_model):
+        result = Nettack(trained_model, seed=0).attack(tiny_graph, 10, 2, 3)
+        for u, v in result.added_edges:
+            other = v if u == 10 else u
+            assert tiny_graph.labels[other] == 2
+
+    def test_degree_test_can_be_disabled(self, tiny_graph, trained_model):
+        attack = Nettack(trained_model, seed=0, enforce_degree_test=False)
+        result = attack.attack(tiny_graph, 10, 0, 2)
+        assert len(result.added_edges) <= 2
+
+    def test_custom_surrogate_accepted(self, tiny_graph, trained_model, rng):
+        from repro.nn import LinearizedGCN
+
+        surrogate = LinearizedGCN.from_gcn(trained_model)
+        attack = Nettack(trained_model, seed=0, surrogate=surrogate)
+        assert attack.surrogate is surrogate
+
+    def test_exact_margin_increases_toward_target(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        """The greedy pick must raise the surrogate target margin."""
+        node, target_label, budget = flippable_victim
+        attack = Nettack(trained_model, seed=0)
+        feature_logits = tiny_graph.features @ attack.surrogate.weight.data
+        candidates = attack._candidates(tiny_graph, node, target_label)
+        margins = [
+            attack._exact_margin(
+                tiny_graph, node, target_label, int(c), feature_logits
+            )
+            for c in candidates[:10]
+        ]
+        result = attack.attack(tiny_graph, node, target_label, 1)
+        picked = result.added_edges[0]
+        other = picked[1] if picked[0] == node else picked[0]
+        picked_margin = attack._exact_margin(
+            tiny_graph, node, target_label, other, feature_logits
+        )
+        assert picked_margin >= np.median(margins)

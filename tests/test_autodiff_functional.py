@@ -1,0 +1,130 @@
+"""Neural-network functionals: softmax family, losses, dropout, entropy."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import functional as F
+from repro.autodiff.gradcheck import gradcheck
+from repro.autodiff.tensor import Tensor
+
+
+def logits(shape=(3, 4), seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape), requires_grad=True)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(logits())
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_equals_log_of_softmax(self):
+        x = logits(seed=1)
+        assert np.allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_log_softmax_shift_invariant(self):
+        x = logits(seed=2)
+        shifted = Tensor(x.data + 100.0)
+        assert np.allclose(
+            F.log_softmax(x).data, F.log_softmax(shifted).data, atol=1e-9
+        )
+
+    def test_log_softmax_huge_logits_stable(self):
+        x = Tensor([[1000.0, 0.0, -1000.0]])
+        out = F.log_softmax(x)
+        assert np.all(np.isfinite(out.data))
+
+    def test_softmax_gradcheck(self):
+        gradcheck(lambda a: (F.softmax(a) ** 2).sum(), [logits((2, 3), 3)])
+
+    def test_softmax_axis0(self):
+        out = F.softmax(logits((3, 2)), axis=0)
+        assert np.allclose(out.data.sum(axis=0), 1.0)
+
+
+class TestLosses:
+    def test_nll_matches_manual(self):
+        log_probs = F.log_softmax(logits(seed=4))
+        targets = np.array([1, 0, 3])
+        manual = -np.mean(log_probs.data[np.arange(3), targets])
+        assert F.nll_loss(log_probs, targets).item() == pytest.approx(manual)
+
+    def test_cross_entropy_reductions(self):
+        x = logits(seed=5)
+        targets = np.array([0, 1, 2])
+        total = F.cross_entropy(x, targets, reduction="sum").item()
+        mean = F.cross_entropy(x, targets, reduction="mean").item()
+        none = F.cross_entropy(x, targets, reduction="none")
+        assert total == pytest.approx(mean * 3)
+        assert none.shape == (3,)
+        assert none.data.sum() == pytest.approx(total)
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(F.log_softmax(logits()), np.array([0, 0, 0]), reduction="bad")
+
+    def test_cross_entropy_gradcheck(self):
+        targets = np.array([2, 0])
+        gradcheck(lambda a: F.cross_entropy(a, targets), [logits((2, 4), 6)])
+
+    def test_perfect_prediction_low_loss(self):
+        x = Tensor([[10.0, -10.0], [-10.0, 10.0]])
+        loss = F.cross_entropy(x, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_binary_cross_entropy_known_value(self):
+        probs = Tensor([0.9, 0.1])
+        targets = Tensor([1.0, 0.0])
+        expected = -np.mean([np.log(0.9), np.log(0.9)])
+        assert F.binary_cross_entropy(probs, targets).item() == pytest.approx(expected)
+
+    def test_binary_cross_entropy_clips_extremes(self):
+        loss = F.binary_cross_entropy(Tensor([0.0, 1.0]), Tensor([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+    def test_mse(self):
+        prediction = Tensor([1.0, 2.0], requires_grad=True)
+        target = Tensor([0.0, 0.0])
+        assert F.mse_loss(prediction, target).item() == pytest.approx(2.5)
+        gradcheck(lambda p: F.mse_loss(p, target), [prediction])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert np.allclose(out.data, 1.0)
+
+    def test_zero_probability_is_identity(self, rng):
+        x = Tensor(np.ones(10))
+        assert np.allclose(F.dropout(x, 0.0, rng).data, 1.0)
+
+    def test_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.4, rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_scales_survivors(self):
+        rng = np.random.default_rng(1)
+        out = F.dropout(Tensor(np.ones(1000)), 0.5, rng)
+        survivors = out.data[out.data > 0]
+        assert np.allclose(survivors, 2.0)
+
+    def test_invalid_probability_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, rng)
+
+
+class TestEntropy:
+    def test_uniform_has_max_entropy(self):
+        uniform = F.entropy(Tensor([0.25, 0.25, 0.25, 0.25])).item()
+        skewed = F.entropy(Tensor([0.97, 0.01, 0.01, 0.01])).item()
+        assert uniform > skewed
+        assert uniform == pytest.approx(np.log(4.0))
+
+    def test_entropy_gradcheck(self):
+        probs = Tensor([0.2, 0.3, 0.5], requires_grad=True)
+        gradcheck(lambda p: F.entropy(p), [probs])

@@ -1,0 +1,134 @@
+"""Second-order differentiation — the property GEAttack's bilevel loop needs."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.autodiff import ops
+from repro.autodiff.gradcheck import gradgradcheck, numeric_grad
+from repro.autodiff.tensor import Tensor
+
+
+def make(shape, seed=0, scale=0.5, positive=False):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape) * scale
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestGradGrad:
+    def test_polynomial(self):
+        gradgradcheck(lambda a: (a * a * a).sum(), [make((4,))])
+
+    def test_matmul_chain(self):
+        gradgradcheck(
+            lambda a, b: ((a @ b) * (a @ b)).sum(),
+            [make((2, 3)), make((3, 2), 1)],
+        )
+
+    def test_sigmoid(self):
+        gradgradcheck(lambda a: ops.sigmoid(a).sum() ** 2, [make((3,))])
+
+    def test_tanh(self):
+        gradgradcheck(lambda a: (ops.tanh(a) * ops.tanh(a)).sum(), [make((3,))])
+
+    def test_exp_log(self):
+        gradgradcheck(
+            lambda a: ops.log(ops.exp(a) + 1.0).sum(), [make((4,))]
+        )
+
+    def test_log_softmax(self):
+        gradgradcheck(
+            lambda a: (ad.log_softmax(a, axis=-1) ** 2).sum(), [make((2, 3))]
+        )
+
+    def test_cross_entropy(self):
+        targets = np.array([0, 2])
+        gradgradcheck(lambda a: ad.cross_entropy(a, targets), [make((2, 3))])
+
+    def test_division(self):
+        gradgradcheck(
+            lambda a, b: (a / b).sum() ** 2,
+            [make((3,)), make((3,), 1, positive=True)],
+        )
+
+    def test_getitem_scatter(self):
+        idx = np.array([0, 2])
+        gradgradcheck(lambda a: (a[idx] * a[idx]).sum(), [make((4,))])
+
+    def test_normalized_adjacency(self):
+        from repro.graph.utils import normalize_adjacency_tensor
+
+        base = np.array([[0.0, 1.0, 0.5], [1.0, 0.0, 0.2], [0.5, 0.2, 0.0]])
+        adjacency = Tensor(base, requires_grad=True)
+        gradgradcheck(
+            lambda a: (normalize_adjacency_tensor(a) ** 2).sum(), [adjacency]
+        )
+
+
+class TestCreateGraphSemantics:
+    def test_gradient_of_gradient_chains(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x**4).sum()
+        g1 = ad.grad(y, x, create_graph=True)  # 4x^3 = 32
+        g2 = ad.grad(g1.sum(), x, create_graph=True)  # 12x^2 = 48
+        g3 = ad.grad(g2.sum(), x)  # 24x = 48
+        assert g1.item() == pytest.approx(32.0)
+        assert g2.item() == pytest.approx(48.0)
+        assert g3.item() == pytest.approx(48.0)
+
+    def test_without_create_graph_gradients_are_constants(self):
+        x = Tensor([2.0], requires_grad=True)
+        g = ad.grad((x**2).sum(), x)
+        assert not g.requires_grad
+
+    def test_with_create_graph_gradients_require_grad(self):
+        x = Tensor([2.0], requires_grad=True)
+        g = ad.grad((x**2).sum(), x, create_graph=True)
+        assert g.requires_grad
+
+
+class TestBilevelUnroll:
+    """Differentiating through an inner gradient-descent loop (GEAttack's core)."""
+
+    @staticmethod
+    def outer_value(theta_data, steps=4, lr=0.3):
+        theta = Tensor(theta_data, requires_grad=True)
+        mask = Tensor(np.zeros_like(theta_data), requires_grad=True)
+        for _ in range(steps):
+            inner = ((ops.sigmoid(mask) * theta - 1.0) ** 2).sum()
+            step = ad.grad(inner, mask, create_graph=True)
+            mask = mask - lr * step
+        outer = (ops.sigmoid(mask) * theta).sum()
+        return outer, theta
+
+    def test_unrolled_gradient_matches_numeric(self):
+        data = np.array([1.2, -0.8, 0.4])
+        outer, theta = self.outer_value(data)
+        analytic = ad.grad(outer, theta).data
+
+        def scalar(values):
+            out, _ = self.outer_value(values.data if isinstance(values, Tensor) else values)
+            return out
+
+        numeric = numeric_grad(
+            lambda t: scalar(t), [Tensor(data.copy(), requires_grad=True)], 0
+        )
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_more_inner_steps_changes_gradient(self):
+        data = np.array([1.2, -0.8])
+        out1, theta1 = self.outer_value(data, steps=1)
+        out5, theta5 = self.outer_value(data, steps=5)
+        g1 = ad.grad(out1, theta1).data
+        g5 = ad.grad(out5, theta5).data
+        assert not np.allclose(g1, g5)
+
+    def test_inner_loop_memory_is_freed(self):
+        # A long unroll should complete without error (graph stays a DAG of
+        # reference-counted closures; nothing global accumulates).
+        data = np.full(4, 0.3)
+        outer, theta = self.outer_value(data, steps=40, lr=0.05)
+        g = ad.grad(outer, theta)
+        assert np.all(np.isfinite(g.data))

@@ -1,0 +1,215 @@
+"""Gradcheck every primitive op against central finite differences."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import autodiff as ad
+from repro.autodiff import ops
+from repro.autodiff.gradcheck import gradcheck
+from repro.autodiff.tensor import Tensor
+
+
+def make(shape, seed=0, scale=1.0, positive=False):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape) * scale
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestElementwise:
+    def test_add(self):
+        gradcheck(lambda a, b: (a + b).sum(), [make((3, 2)), make((3, 2), 1)])
+
+    def test_add_broadcast(self):
+        gradcheck(lambda a, b: (a + b).sum(), [make((3, 2)), make((2,), 1)])
+
+    def test_sub(self):
+        gradcheck(lambda a, b: (a - b).sum(), [make((4,)), make((4,), 1)])
+
+    def test_rsub_scalar(self):
+        gradcheck(lambda a: (5.0 - a).sum(), [make((3,))])
+
+    def test_mul(self):
+        gradcheck(lambda a, b: (a * b).sum(), [make((2, 3)), make((2, 3), 1)])
+
+    def test_mul_broadcast_rows(self):
+        gradcheck(lambda a, b: (a * b).sum(), [make((4, 3)), make((4, 1), 1)])
+
+    def test_div(self):
+        gradcheck(
+            lambda a, b: (a / b).sum(),
+            [make((3,)), make((3,), 1, positive=True)],
+        )
+
+    def test_neg(self):
+        gradcheck(lambda a: (-a).sum(), [make((5,))])
+
+    def test_power(self):
+        gradcheck(lambda a: (a**3).sum(), [make((4,))])
+
+    def test_power_half(self):
+        gradcheck(lambda a: (a**0.5).sum(), [make((4,), positive=True)])
+
+    def test_exp(self):
+        gradcheck(lambda a: ops.exp(a).sum(), [make((3, 3), scale=0.5)])
+
+    def test_log(self):
+        gradcheck(lambda a: ops.log(a).sum(), [make((4,), positive=True)])
+
+    def test_abs_away_from_zero(self):
+        gradcheck(lambda a: ops.absolute(a).sum(), [make((5,), positive=True)])
+
+    def test_sigmoid(self):
+        gradcheck(lambda a: ops.sigmoid(a).sum(), [make((3, 4))])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(Tensor([-800.0, 800.0]))
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(0.0, abs=1e-12)
+        assert out.data[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_tanh(self):
+        gradcheck(lambda a: ops.tanh(a).sum(), [make((6,))])
+
+    def test_relu(self):
+        gradcheck(lambda a: ops.relu(a).sum(), [make((10,), positive=True)])
+
+    def test_relu_kills_negative_gradient(self):
+        x = Tensor([-1.0, 2.0], requires_grad=True)
+        g = ad.grad(ops.relu(x).sum(), x)
+        assert np.allclose(g.data, [0.0, 1.0])
+
+    def test_maximum(self):
+        gradcheck(
+            lambda a, b: ops.maximum(a, b).sum(),
+            [make((5,)), make((5,), 1) + 0.3],
+        )
+
+    def test_minimum(self):
+        gradcheck(
+            lambda a, b: ops.minimum(a, b).sum(),
+            [make((5,)), make((5,), 1) + 0.3],
+        )
+
+    def test_clip_interior(self):
+        gradcheck(lambda a: ops.clip(a, -10.0, 10.0).sum(), [make((4,))])
+
+    def test_clip_blocks_outside(self):
+        x = Tensor([-5.0, 0.0, 5.0], requires_grad=True)
+        g = ad.grad(ops.clip(x, -1.0, 1.0).sum(), x)
+        assert np.allclose(g.data, [0.0, 1.0, 0.0])
+
+    def test_where(self):
+        mask = np.array([True, False, True])
+        gradcheck(
+            lambda a, b: ops.where(mask, a, b).sum(),
+            [make((3,)), make((3,), 1)],
+        )
+
+
+class TestLinearAlgebra:
+    def test_matmul_2d(self):
+        gradcheck(lambda a, b: (a @ b).sum(), [make((3, 4)), make((4, 2), 1)])
+
+    def test_matmul_vector_right(self):
+        gradcheck(lambda a, b: (a @ b).sum(), [make((3, 4)), make((4,), 1)])
+
+    def test_matmul_vector_left(self):
+        gradcheck(lambda a, b: (a @ b).sum(), [make((4,)), make((4, 2), 1)])
+
+    def test_matmul_dot(self):
+        gradcheck(lambda a, b: a @ b, [make((4,)), make((4,), 1)])
+
+    def test_matmul_rejects_3d(self):
+        with pytest.raises(ValueError):
+            ops.matmul(make((2, 2, 2)), make((2, 2)))
+
+    def test_transpose(self):
+        gradcheck(lambda a: ops.transpose(a).sum(), [make((3, 5))])
+
+    def test_transpose_axes(self):
+        x = make((2, 3, 4))
+        out = ops.transpose(x, (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        gradcheck(lambda a: ops.transpose(a, (2, 0, 1)).sum(), [x])
+
+    def test_reshape(self):
+        gradcheck(lambda a: ops.reshape(a, (6,)).sum(), [make((2, 3))])
+
+    def test_broadcast_to(self):
+        gradcheck(lambda a: ops.broadcast_to(a, (4, 3)).sum(), [make((3,))])
+
+    def test_spmm_matches_dense(self):
+        sparse = sp.random(6, 6, density=0.4, random_state=3, format="csr")
+        dense = make((6, 2))
+        out = ops.spmm(sparse, dense)
+        assert np.allclose(out.data, sparse.toarray() @ dense.data)
+        gradcheck(lambda d: ops.spmm(sparse, d).sum(), [dense])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        gradcheck(lambda a: ops.tensor_sum(a), [make((3, 4))])
+
+    def test_sum_axis(self):
+        gradcheck(lambda a: ops.tensor_sum(a, axis=0).sum(), [make((3, 4))])
+
+    def test_sum_axis_keepdims(self):
+        out = ops.tensor_sum(make((3, 4)), axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_sum_negative_axis(self):
+        gradcheck(lambda a: ops.tensor_sum(a, axis=-1).sum(), [make((2, 5))])
+
+    def test_mean(self):
+        gradcheck(lambda a: ops.mean(a), [make((4, 2))])
+
+    def test_mean_value(self):
+        x = Tensor([[1.0, 3.0], [5.0, 7.0]])
+        assert ops.mean(x).item() == 4.0
+
+
+class TestIndexing:
+    def test_getitem_row(self):
+        gradcheck(lambda a: a[1].sum(), [make((3, 4))])
+
+    def test_getitem_slice(self):
+        gradcheck(lambda a: a[1:3].sum(), [make((5, 2))])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        gradcheck(lambda a: a[idx].sum(), [make((4, 3))])
+
+    def test_getitem_pairs(self):
+        rows = np.array([0, 1])
+        cols = np.array([2, 0])
+        gradcheck(lambda a: a[(rows, cols)].sum(), [make((3, 3))])
+
+    def test_getitem_duplicate_index_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        idx = np.array([1, 1, 1])
+        g = ad.grad(x[idx].sum(), x)
+        assert np.allclose(g.data, [0.0, 3.0, 0.0])
+
+    def test_scatter_add_matches_numpy(self):
+        values = make((3,))
+        idx = (np.array([0, 1, 1]), np.array([2, 0, 0]))
+        out = ops.scatter_add((2, 3), idx, values)
+        expected = np.zeros((2, 3))
+        np.add.at(expected, idx, values.data)
+        assert np.allclose(out.data, expected)
+        gradcheck(lambda v: ops.scatter_add((2, 3), idx, v).sum(), [values])
+
+    def test_concatenate(self):
+        gradcheck(
+            lambda a, b: ops.concatenate([a, b], axis=0).sum(),
+            [make((2, 3)), make((4, 3), 1)],
+        )
+
+    def test_concatenate_axis1(self):
+        gradcheck(
+            lambda a, b: ops.concatenate([a, b], axis=1).sum(),
+            [make((2, 3)), make((2, 2), 1)],
+        )

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) on the autodiff engine's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import autodiff as ad
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_addition_commutes(a, b):
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.array_equal(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4,)))
+def test_grad_of_sum_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    g = ad.grad(x.sum(), x)
+    assert np.array_equal(g.data, np.ones(4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 3)), arrays((3, 3)))
+def test_matmul_matches_numpy(a, b):
+    out = (Tensor(a) @ Tensor(b)).data
+    assert np.allclose(out, a @ b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 5)))
+def test_softmax_is_distribution(data):
+    probs = ad.softmax(Tensor(data), axis=-1).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 5)), st.floats(min_value=-50, max_value=50))
+def test_log_softmax_shift_invariance(data, shift):
+    base = ad.log_softmax(Tensor(data)).data
+    shifted = ad.log_softmax(Tensor(data + shift)).data
+    assert np.allclose(base, shifted, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4,)), arrays((4,)))
+def test_grad_is_linear_in_output_weighting(a, b):
+    x = Tensor(a, requires_grad=True)
+    weights = Tensor(b)
+    g_weighted = ad.grad(x * x, x, grad_outputs=weights)
+    g_plain = ad.grad((x * x).sum(), x)
+    assert np.allclose(g_weighted.data, g_plain.data * b, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 2)))
+def test_transpose_is_involution(data):
+    x = Tensor(data, requires_grad=True)
+    double = ops.transpose(ops.transpose(x))
+    assert np.array_equal(double.data, data)
+    g = ad.grad(double.sum(), x)
+    assert np.array_equal(g.data, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((6,)), st.integers(min_value=0, max_value=5))
+def test_scatter_then_gather_roundtrip(data, position):
+    x = Tensor(data, requires_grad=True)
+    picked = x[np.array([position])]
+    g = ad.grad(picked.sum(), x)
+    expected = np.zeros(6)
+    expected[position] = 1.0
+    assert np.array_equal(g.data, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((3, 3)))
+def test_sum_axis_decomposition(data):
+    x = Tensor(data)
+    total = ops.tensor_sum(x).item()
+    by_rows = ops.tensor_sum(ops.tensor_sum(x, axis=0)).item()
+    assert np.isclose(total, by_rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((4, 2)))
+def test_sigmoid_bounded_and_monotone_gradient(data):
+    x = Tensor(data, requires_grad=True)
+    out = ops.sigmoid(x)
+    assert np.all(out.data > 0) and np.all(out.data < 1)
+    g = ad.grad(out.sum(), x)
+    assert np.all(g.data > 0)  # sigmoid is strictly increasing
+    assert np.all(g.data <= 0.25 + 1e-12)  # derivative peaks at 1/4

@@ -1,0 +1,69 @@
+"""CLI: parser wiring and end-to-end command execution (smoke scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.dataset == "cora"
+        assert args.scale == "smoke"
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic", "table3"])
+
+    def test_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--dataset", "pubmed"])
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "feature-attack",
+            "inspector-zoo",
+        ],
+    )
+    def test_all_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert args.command == command
+
+
+class TestExecution:
+    def test_table3_runs(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "CITESEER" in out and "CORA" in out and "ACM" in out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["--scale", "smoke", "fig4", "--dataset", "cora"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out
+        assert "ASR_T" in out
+
+    def test_feature_attack_runs(self, capsys):
+        assert main(["--scale", "smoke", "feature-attack"]) == 0
+        out = capsys.readouterr().out
+        assert "FeatureFGA" in out
+        assert "GEF-Attack" in out
+
+    def test_inspector_zoo_runs(self, capsys):
+        assert main(["--scale", "smoke", "inspector-zoo", "--dataset", "cora"]) == 0
+        out = capsys.readouterr().out
+        assert "Occlusion" in out
+        assert "GNNExplainer" in out

@@ -1,0 +1,152 @@
+"""Synthetic datasets: Table 3 statistics, determinism, splits, IO."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import (
+    DATASET_SPECS,
+    CitationSpec,
+    generate_citation_graph,
+    load_dataset,
+    load_npz_graph,
+    random_split,
+    save_npz_graph,
+)
+from repro.datasets.registry import _scaled_spec
+
+
+def homophily(graph):
+    coo = sp.triu(graph.adjacency, k=1).tocoo()
+    return float((graph.labels[coo.row] == graph.labels[coo.col]).mean())
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        spec = CitationSpec(150, 300, 3, 40)
+        a = generate_citation_graph(spec, seed=3)
+        b = generate_citation_graph(spec, seed=3)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        spec = CitationSpec(150, 300, 3, 40)
+        a = generate_citation_graph(spec, seed=3)
+        b = generate_citation_graph(spec, seed=4)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_homophily_close_to_spec(self):
+        spec = CitationSpec(400, 1200, 4, 60, homophily=0.8)
+        graph = generate_citation_graph(spec, seed=0)
+        assert homophily(graph) == pytest.approx(0.8, abs=0.08)
+
+    def test_lcc_is_connected(self):
+        spec = CitationSpec(200, 350, 3, 40)
+        graph = generate_citation_graph(spec, seed=1)
+        count, _ = sp.csgraph.connected_components(graph.adjacency, directed=False)
+        assert count == 1
+
+    def test_no_lcc_keeps_all_nodes(self):
+        spec = CitationSpec(120, 200, 3, 30)
+        graph = generate_citation_graph(spec, seed=1, take_lcc=False)
+        assert graph.num_nodes == 120
+
+    def test_features_binary_and_nonempty(self):
+        spec = CitationSpec(150, 300, 3, 40)
+        graph = generate_citation_graph(spec, seed=2)
+        assert set(np.unique(graph.features)) <= {0.0, 1.0}
+        assert np.all(graph.features.sum(axis=1) >= 1)
+
+    def test_degree_distribution_heavy_tailed(self):
+        spec = CitationSpec(600, 1500, 4, 50, degree_exponent=2.4)
+        graph = generate_citation_graph(spec, seed=0)
+        degrees = graph.degrees()
+        assert degrees.max() >= 4 * degrees.mean()
+
+    def test_features_carry_class_signal(self):
+        spec = CitationSpec(300, 600, 3, 60, topic_word_probability=0.3)
+        graph = generate_citation_graph(spec, seed=0)
+        # Mean within-class feature correlation should beat cross-class.
+        centroids = np.stack(
+            [graph.features[graph.labels == c].mean(axis=0) for c in range(3)]
+        )
+        separations = []
+        for c in range(3):
+            members = graph.features[graph.labels == c]
+            own = np.linalg.norm(members - centroids[c], axis=1).mean()
+            other = min(
+                np.linalg.norm(members - centroids[o], axis=1).mean()
+                for o in range(3)
+                if o != c
+            )
+            separations.append(other - own)
+        assert np.mean(separations) > 0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["citeseer", "cora", "acm"])
+    def test_scaled_loads(self, name):
+        graph = load_dataset(name, scale=0.1, seed=0)
+        spec = DATASET_SPECS[name]
+        assert graph.num_classes == spec.num_classes
+        assert graph.num_nodes > 50
+        # Average degree should roughly match the full-size dataset.
+        full_avg = 2.0 * spec.num_edges / spec.num_nodes
+        scaled_avg = 2.0 * graph.num_edges / graph.num_nodes
+        assert scaled_avg == pytest.approx(full_avg, rel=0.5)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("pubmed")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=1.5)
+
+    def test_full_scale_spec_is_table3(self):
+        spec = DATASET_SPECS["cora"]
+        assert (spec.num_nodes, spec.num_edges) == (2485, 5069)
+        assert (spec.num_classes, spec.num_features) == (7, 1433)
+        spec = DATASET_SPECS["citeseer"]
+        assert (spec.num_nodes, spec.num_edges) == (2110, 3668)
+        spec = DATASET_SPECS["acm"]
+        assert (spec.num_nodes, spec.num_edges) == (3025, 13128)
+
+    def test_scaled_spec_preserves_classes(self):
+        scaled = _scaled_spec(DATASET_SPECS["acm"], 0.2)
+        assert scaled.num_classes == 3
+        assert scaled.num_nodes == pytest.approx(605, abs=5)
+
+
+class TestSplits:
+    def test_partition_is_exhaustive_and_disjoint(self):
+        split = random_split(100, seed=0)
+        combined = np.concatenate([split.train, split.val, split.test])
+        assert np.array_equal(np.sort(combined), np.arange(100))
+
+    def test_paper_fractions(self):
+        split = random_split(1000, seed=1)
+        assert split.sizes == (100, 100, 800)
+
+    def test_deterministic(self):
+        a = random_split(50, seed=3)
+        b = random_split(50, seed=3)
+        assert np.array_equal(a.train, b.train)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            random_split(10, train_fraction=0.6, val_fraction=0.5)
+
+
+class TestNpzIO:
+    def test_round_trip(self, tmp_path, tiny_graph):
+        path = tmp_path / "graph.npz"
+        save_npz_graph(path, tiny_graph)
+        loaded = load_npz_graph(path, name="tiny")
+        assert (loaded.adjacency != tiny_graph.adjacency).nnz == 0
+        assert np.array_equal(loaded.features, tiny_graph.features)
+        assert np.array_equal(loaded.labels, tiny_graph.labels)
+        assert loaded.name == "tiny"

@@ -1,0 +1,75 @@
+"""Explainer-based defense: pruning restores gradient-attack victims."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGATargeted, GEAttack
+from repro.defense import ExplainerDefense, InspectionOutcome
+from repro.explain import GNNExplainer
+
+
+@pytest.fixture()
+def defense(trained_model, tiny_graph):
+    factory = lambda _graph: GNNExplainer(trained_model, epochs=40, seed=4)
+    return ExplainerDefense(
+        trained_model,
+        factory,
+        prune_k=3,
+        trusted_edges=tiny_graph.edge_set(),
+    )
+
+
+class TestInspection:
+    def test_clean_graph_prunes_nothing_suspicious(
+        self, defense, tiny_graph, clean_predictions
+    ):
+        outcome = defense.inspect(tiny_graph, 10)
+        # Every edge of the clean graph is trusted → nothing to prune.
+        assert outcome.pruned_edges == []
+        assert outcome.prediction_before == clean_predictions[10]
+        assert not outcome.prediction_changed
+
+    def test_prunes_attack_edges_of_gradient_attack(
+        self, defense, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target_label, budget = flippable_victim
+        result = FGATargeted(trained_model, seed=1).attack(
+            tiny_graph, node, target_label, budget
+        )
+        outcome = defense.inspect(
+            result.perturbed_graph, node, result.added_edges
+        )
+        assert len(outcome.pruned_edges) <= 3
+        # With the clean graph trusted, every pruned edge is adversarial.
+        assert set(outcome.pruned_adversarial) == set(outcome.pruned_edges)
+
+    def test_outcome_dataclass(self):
+        outcome = InspectionOutcome(0, 1, 2, [(0, 1)], [])
+        assert outcome.prediction_changed
+
+
+class TestRecovery:
+    def test_recovery_rate_bounds(
+        self, defense, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target_label, budget = flippable_victim
+        results = [
+            FGATargeted(trained_model, seed=1).attack(
+                tiny_graph, node, target_label, budget
+            )
+        ]
+        rate = defense.recovery_rate(tiny_graph, results, tiny_graph.labels)
+        assert 0.0 <= rate <= 1.0
+
+    def test_empty_results_nan(self, defense, tiny_graph):
+        assert np.isnan(
+            defense.recovery_rate(tiny_graph, [], tiny_graph.labels)
+        )
+
+    def test_untrusted_defense_can_prune_clean_edges(
+        self, trained_model, tiny_graph
+    ):
+        factory = lambda _graph: GNNExplainer(trained_model, epochs=20, seed=4)
+        naive = ExplainerDefense(trained_model, factory, prune_k=2)
+        outcome = naive.inspect(tiny_graph, 10)
+        assert len(outcome.pruned_edges) == 2  # prunes top-2 regardless

@@ -1,0 +1,133 @@
+"""GCN-Jaccard preprocessing defense."""
+
+import numpy as np
+import pytest
+
+from repro.defense import JaccardDefense, jaccard_similarity
+
+
+class TestSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1, 0, 1, 1])
+        assert jaccard_similarity(v, v) == pytest.approx(1.0)
+
+    def test_disjoint_vectors(self):
+        assert jaccard_similarity(
+            np.array([1, 1, 0, 0]), np.array([0, 0, 1, 1])
+        ) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        # intersection 1, union 3
+        assert jaccard_similarity(
+            np.array([1, 1, 0]), np.array([1, 0, 1])
+        ) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_vectors_are_zero(self):
+        zero = np.zeros(4)
+        assert jaccard_similarity(zero, zero) == 0.0
+
+
+class TestSanitize:
+    def test_dropped_edges_are_exactly_sub_threshold(self, tiny_graph):
+        defense = JaccardDefense(threshold=0.05)
+        edges, scores = defense.edge_scores(tiny_graph)
+        cleaned, dropped = defense.sanitize(tiny_graph)
+        expected = {
+            (u, v) for (u, v), s in zip(edges, scores) if s < defense.threshold
+        }
+        assert {(u, v) for u, v in dropped} == expected
+        assert cleaned.num_edges == tiny_graph.num_edges - len(dropped)
+
+    def test_denser_features_survive_better(self):
+        """With realistic feature density, homophilous edges mostly stay."""
+        from repro.datasets import CitationSpec, generate_citation_graph
+
+        dense_spec = CitationSpec(
+            num_nodes=150,
+            num_edges=320,
+            num_classes=3,
+            num_features=120,
+            topic_words_per_class=30,
+            topic_word_probability=0.35,
+            background_word_probability=0.05,
+            name="dense-feat",
+        )
+        graph = generate_citation_graph(dense_spec, seed=2)
+        _, dropped = JaccardDefense(threshold=0.01).sanitize(graph)
+        assert len(dropped) < graph.num_edges * 0.25
+
+    def test_zero_threshold_drops_nothing(self, tiny_graph):
+        cleaned, dropped = JaccardDefense(threshold=0.0).sanitize(tiny_graph)
+        assert dropped == []
+        assert cleaned.num_edges == tiny_graph.num_edges
+
+    def test_huge_threshold_drops_everything(self, tiny_graph):
+        cleaned, dropped = JaccardDefense(threshold=2.0).sanitize(tiny_graph)
+        assert len(dropped) == tiny_graph.num_edges
+        assert cleaned.num_edges == 0
+
+    def test_edge_scores_aligned(self, tiny_graph):
+        edges, scores = JaccardDefense().edge_scores(tiny_graph)
+        assert len(edges) == tiny_graph.num_edges
+        assert scores.shape == (tiny_graph.num_edges,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+
+class TestAgainstAttacks:
+    def test_filters_random_attack_edges(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        """Random target-label edges often connect dissimilar documents."""
+        from repro.attacks import RandomAttack
+
+        node, target_label, budget = flippable_victim
+        result = RandomAttack(trained_model, seed=5).attack(
+            tiny_graph, node, target_label, budget
+        )
+        defense = JaccardDefense(threshold=0.02)
+        fraction = defense.filtered_fraction(
+            result.perturbed_graph, result.added_edges
+        )
+        assert 0.0 <= fraction <= 1.0
+
+    def test_empty_suspicious_is_nan(self, tiny_graph):
+        assert np.isnan(
+            JaccardDefense().filtered_fraction(tiny_graph, [])
+        )
+
+
+class TestAsciiChart:
+    def test_renders_range(self):
+        from repro.experiments.reporting import ascii_chart
+
+        line = ascii_chart([0.0, 0.5, 1.0], label="x ")
+        assert line.startswith("x ")
+        assert "[0.000 … 1.000]" in line
+
+    def test_nan_renders_blank(self):
+        from repro.experiments.reporting import ascii_chart
+
+        line = ascii_chart([float("nan"), 1.0, 2.0])
+        assert " " in line.split("[")[0]
+
+    def test_all_nan(self):
+        from repro.experiments.reporting import ascii_chart
+
+        assert "(no data)" in ascii_chart([float("nan")])
+
+    def test_constant_series(self):
+        from repro.experiments.reporting import ascii_chart
+
+        line = ascii_chart([3.0, 3.0, 3.0])
+        assert "[3.000 … 3.000]" in line
+
+    def test_sweep_charts(self):
+        from repro.experiments import SweepPoint
+        from repro.experiments.reporting import render_sweep_charts
+
+        points = [
+            SweepPoint(1.0, 1.0, 0.1, 0.2, 0.15, 0.3),
+            SweepPoint(2.0, 0.5, 0.1, 0.2, 0.10, 0.2),
+        ]
+        out = render_sweep_charts(points)
+        assert out.count("\n") == 2  # three metric lines

@@ -1,0 +1,169 @@
+"""DICE baseline attack and the GCN-SVD spectral defense."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.attacks import DICE, FGATargeted, Nettack
+from repro.defense import SVDDefense, low_rank_adjacency
+from repro.graph.utils import edge_tuple
+
+
+class TestDICE:
+    def test_budget_respected(self, tiny_graph, trained_model, flippable_victim):
+        node, target, budget = flippable_victim
+        result = DICE(trained_model, seed=5).attack(tiny_graph, node, target, budget)
+        moves = len(result.added_edges) + len(result.history)
+        assert moves <= budget
+
+    def test_added_edges_hit_target_label(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target, budget = flippable_victim
+        result = DICE(trained_model, seed=5).attack(tiny_graph, node, target, budget)
+        for u, v in result.added_edges:
+            partner = v if u == node else u
+            assert int(tiny_graph.labels[partner]) == target
+
+    def test_deletions_remove_same_label_neighbors(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target, budget = flippable_victim
+        result = DICE(trained_model, seed=5, add_probability=0.0).attack(
+            tiny_graph, node, target, budget
+        )
+        true_label = int(tiny_graph.labels[node])
+        for kind, (u, v) in result.history:
+            assert kind == "removed"
+            partner = v if u == node else u
+            assert tiny_graph.has_edge(u, v)
+            assert not result.perturbed_graph.has_edge(u, v)
+            assert int(tiny_graph.labels[partner]) == true_label
+
+    def test_untargeted_connects_other_classes(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        node, _, budget = flippable_victim
+        result = DICE(trained_model, seed=5, add_probability=1.0).attack(
+            tiny_graph, node, None, budget
+        )
+        true_label = int(tiny_graph.labels[node])
+        assert result.added_edges
+        for u, v in result.added_edges:
+            partner = v if u == node else u
+            assert int(tiny_graph.labels[partner]) != true_label
+
+    def test_deterministic_given_seed(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target, budget = flippable_victim
+        first = DICE(trained_model, seed=5).attack(tiny_graph, node, target, budget)
+        second = DICE(trained_model, seed=5).attack(tiny_graph, node, target, budget)
+        assert first.added_edges == second.added_edges
+        assert first.history == second.history
+
+    def test_invalid_add_probability_rejected(self, trained_model):
+        with pytest.raises(ValueError):
+            DICE(trained_model, add_probability=1.5)
+
+    def test_weaker_than_gradient_attack(
+        self, tiny_graph, trained_model, clean_predictions
+    ):
+        """Across a victim pool, DICE should not beat FGA-T at attacking."""
+        degrees = tiny_graph.degrees()
+        victims = np.flatnonzero(
+            (clean_predictions == tiny_graph.labels)
+            & (degrees >= 2)
+            & (degrees <= 5)
+        )[:8]
+        dice_hits = gradient_hits = 0
+        for node in victims:
+            node = int(node)
+            target = int((clean_predictions[node] + 1) % tiny_graph.num_classes)
+            budget = int(degrees[node])
+            dice_hits += (
+                DICE(trained_model, seed=5)
+                .attack(tiny_graph, node, target, budget)
+                .hit_target
+            )
+            gradient_hits += (
+                FGATargeted(trained_model, seed=5)
+                .attack(tiny_graph, node, target, budget)
+                .hit_target
+            )
+        assert dice_hits <= gradient_hits
+
+
+class TestLowRankAdjacency:
+    def test_output_symmetric_nonnegative(self, tiny_graph):
+        reconstruction = low_rank_adjacency(tiny_graph.adjacency, rank=8)
+        assert np.allclose(reconstruction, reconstruction.T)
+        assert np.all(reconstruction >= 0)
+
+    def test_rank_two_structure_recovered_exactly(self):
+        """K_{3,4}'s adjacency has rank 2, so rank-2 truncation is exact."""
+        dense = np.zeros((7, 7))
+        dense[:3, 3:] = 1.0
+        dense[3:, :3] = 1.0
+        reconstruction = low_rank_adjacency(sp.csr_matrix(dense), rank=2)
+        assert np.allclose(reconstruction, dense, atol=1e-8)
+
+    def test_rank_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            low_rank_adjacency(tiny_graph.adjacency, rank=0)
+        with pytest.raises(ValueError):
+            low_rank_adjacency(tiny_graph.adjacency, rank=tiny_graph.num_nodes)
+
+    def test_higher_rank_reduces_error(self, tiny_graph):
+        dense = tiny_graph.dense_adjacency()
+        errors = [
+            np.linalg.norm(dense - low_rank_adjacency(tiny_graph.adjacency, rank=k))
+            for k in (4, 16, 64)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+
+
+class TestSVDDefense:
+    def test_clean_predictions_mostly_preserved(self, tiny_graph, trained_model):
+        """Purification must not destroy the clean graph's predictions."""
+        from repro.attacks.base import Attack
+
+        helper = Attack(trained_model)
+        clean = helper.predict(tiny_graph)
+        defended = SVDDefense(trained_model, rank=32).predict(tiny_graph)
+        agreement = float(np.mean(clean == defended))
+        assert agreement > 0.7
+
+    def test_adversarial_edges_lose_energy(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        """Injected edges reconstruct weaker than the clean edges they join."""
+        node, target, budget = flippable_victim
+        result = Nettack(trained_model, seed=5).attack(
+            tiny_graph, node, target, budget
+        )
+        if not result.added_edges:
+            pytest.skip("Nettack added nothing for this victim")
+        defense = SVDDefense(trained_model, rank=10)
+        adversarial_energy = defense.edge_energy(
+            result.perturbed_graph, result.added_edges
+        )
+        clean_edges = [
+            edge_tuple(node, v)
+            for v in tiny_graph.neighbors(node)
+        ]
+        clean_energy = defense.edge_energy(result.perturbed_graph, clean_edges)
+        assert adversarial_energy.mean() < clean_energy.mean()
+
+    def test_recovery_rate_bounds(self, tiny_graph, trained_model, flippable_victim):
+        node, target, budget = flippable_victim
+        result = FGATargeted(trained_model, seed=5).attack(
+            tiny_graph, node, target, budget
+        )
+        defense = SVDDefense(trained_model, rank=16)
+        rate = defense.recovery_rate([result], tiny_graph.labels)
+        assert 0.0 <= rate <= 1.0
+
+    def test_empty_results_nan(self, trained_model, tiny_graph):
+        defense = SVDDefense(trained_model, rank=4)
+        assert np.isnan(defense.recovery_rate([], tiny_graph.labels))

@@ -1,0 +1,100 @@
+"""Integration: the feature-attack evaluation pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FeatureFGA
+from repro.experiments import (
+    SCALE_PRESETS,
+    derive_target_labels,
+    evaluate_feature_attack_method,
+    prepare_case,
+    select_victims,
+)
+from repro.explain import GNNExplainer
+
+
+@pytest.fixture(scope="module")
+def smoke_case():
+    case = prepare_case("citeseer", SCALE_PRESETS["smoke"])
+    victims = derive_target_labels(case, select_victims(case))
+    if not victims:
+        pytest.skip("no flippable victims at smoke scale")
+    return case, victims
+
+
+def _factory(case):
+    config = case.config
+    return lambda _graph: GNNExplainer(
+        case.model,
+        epochs=config.explainer_epochs,
+        lr=config.explainer_lr,
+        seed=case.seed + 41,
+        explain_features=True,
+    )
+
+
+class TestEvaluateFeatureAttackMethod:
+    def test_returns_complete_evaluation(self, smoke_case):
+        case, victims = smoke_case
+        evaluation = evaluate_feature_attack_method(
+            case, FeatureFGA(case.model, seed=3), victims, _factory(case)
+        )
+        assert evaluation.method == "FeatureFGA"
+        assert 0.0 <= evaluation.asr <= 1.0
+        assert 0.0 <= evaluation.asr_t <= 1.0
+        for value in (evaluation.precision, evaluation.recall, evaluation.f1):
+            assert np.isnan(value) or 0.0 <= value <= 1.0
+        assert len(evaluation.per_victim) == len(victims)
+
+    def test_per_victim_records_flips(self, smoke_case):
+        case, victims = smoke_case
+        evaluation = evaluate_feature_attack_method(
+            case, FeatureFGA(case.model, seed=3), victims, _factory(case)
+        )
+        for record in evaluation.per_victim:
+            assert {"node", "hit_target", "f1", "ndcg"} <= set(record)
+
+    def test_flip_budget_override(self, smoke_case):
+        """A zero flip budget means no attack and zero detection."""
+        case, victims = smoke_case
+        evaluation = evaluate_feature_attack_method(
+            case,
+            FeatureFGA(case.model, seed=3),
+            victims,
+            _factory(case),
+            flip_budget=0,
+        )
+        # FeatureAttackResult with no flips: prediction unchanged.
+        assert evaluation.asr_t == 0.0
+        assert evaluation.f1 == 0.0
+
+    def test_row_matches_paper_order(self, smoke_case):
+        case, victims = smoke_case
+        evaluation = evaluate_feature_attack_method(
+            case, FeatureFGA(case.model, seed=3), victims, _factory(case)
+        )
+        assert list(evaluation.row()) == [
+            "ASR",
+            "ASR-T",
+            "Precision",
+            "Recall",
+            "F1",
+            "NDCG",
+        ]
+
+
+class TestConfigInspectorSettings:
+    def test_explainer_lr_present_in_all_presets(self):
+        for name, preset in SCALE_PRESETS.items():
+            assert preset.explainer_lr > 0, name
+            assert preset.explainer_epochs >= 80, (
+                f"{name}: unconverged inspectors rank edges by init noise"
+            )
+
+    def test_full_scale_runs_longer_than_small(self):
+        assert (
+            SCALE_PRESETS["full"].explainer_epochs
+            >= SCALE_PRESETS["small"].explainer_epochs
+            > SCALE_PRESETS["smoke"].explainer_epochs
+        )

@@ -1,0 +1,153 @@
+"""GNNExplainer: mask optimization, rankings, inspector behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, grad
+from repro.explain import Explanation, GNNExplainer
+from repro.explain.gnn_explainer import explainer_loss, symmetric_mask_probability
+from repro.graph import k_hop_subgraph
+
+
+class TestExplanationObject:
+    def test_ranking_sorted_descending(self):
+        explanation = Explanation(
+            node=0,
+            predicted_label=1,
+            edges=[(0, 1), (0, 2), (0, 3)],
+            weights=np.array([0.1, 0.9, 0.5]),
+        )
+        assert explanation.ranking() == [(0, 2), (0, 3), (0, 1)]
+        assert explanation.top_edges(1) == [(0, 2)]
+
+    def test_weight_of(self):
+        explanation = Explanation(0, 1, [(0, 1)], np.array([0.7]))
+        assert explanation.weight_of(1, 0) == pytest.approx(0.7)
+        assert np.isnan(explanation.weight_of(5, 6))
+
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError):
+            Explanation(0, 1, [(0, 1)], np.array([0.7, 0.2]))
+
+    def test_len(self):
+        assert len(Explanation(0, 1, [(0, 1)], np.array([0.5]))) == 1
+
+
+class TestSymmetricMask:
+    def test_output_symmetric(self, rng):
+        mask = Tensor(rng.standard_normal((4, 4)))
+        prob = symmetric_mask_probability(mask).data
+        assert np.allclose(prob, prob.T)
+
+    def test_range(self, rng):
+        prob = symmetric_mask_probability(Tensor(rng.standard_normal((4, 4)))).data
+        assert np.all((prob > 0) & (prob < 1))
+
+
+class TestExplainerLoss:
+    def test_decreases_under_gradient_descent(
+        self, tiny_graph, trained_model, clean_predictions
+    ):
+        node = 10
+        subgraph, nodes, local = k_hop_subgraph(tiny_graph, node, 2)
+        adjacency = Tensor(subgraph.dense_adjacency())
+        features = Tensor(subgraph.features)
+        label = int(clean_predictions[node])
+        mask = Tensor(np.zeros((subgraph.num_nodes,) * 2), requires_grad=True)
+        losses = []
+        for _ in range(15):
+            loss = explainer_loss(
+                trained_model, adjacency, mask, features, local, label
+            )
+            losses.append(loss.item())
+            g = grad(loss, mask)
+            mask = Tensor(mask.data - 0.5 * g.data, requires_grad=True)
+        assert losses[-1] < losses[0]
+
+    def test_regularizers_increase_loss(
+        self, tiny_graph, trained_model, clean_predictions
+    ):
+        node = 10
+        subgraph, nodes, local = k_hop_subgraph(tiny_graph, node, 2)
+        adjacency = Tensor(subgraph.dense_adjacency())
+        features = Tensor(subgraph.features)
+        label = int(clean_predictions[node])
+        mask = Tensor(np.zeros((subgraph.num_nodes,) * 2), requires_grad=True)
+        plain = explainer_loss(
+            trained_model, adjacency, mask, features, local, label
+        ).item()
+        regularized = explainer_loss(
+            trained_model,
+            adjacency,
+            mask,
+            features,
+            local,
+            label,
+            size_coefficient=0.01,
+            entropy_coefficient=0.1,
+        ).item()
+        assert regularized > plain
+
+
+class TestExplainNode:
+    @pytest.fixture(scope="class")
+    def explanation(self, tiny_graph, trained_model):
+        explainer = GNNExplainer(trained_model, epochs=40, seed=0)
+        return explainer.explain_node(tiny_graph, 10)
+
+    def test_edges_within_computation_subgraph(
+        self, explanation, tiny_graph
+    ):
+        _, nodes, _ = k_hop_subgraph(tiny_graph, 10, 2)
+        allowed = set(nodes.tolist())
+        for u, v in explanation.edges:
+            assert u in allowed and v in allowed
+
+    def test_edges_exist_in_graph(self, explanation, tiny_graph):
+        for u, v in explanation.edges:
+            assert tiny_graph.has_edge(u, v)
+
+    def test_weights_are_probabilities(self, explanation):
+        assert np.all((explanation.weights >= 0) & (explanation.weights <= 1))
+
+    def test_label_defaults_to_model_prediction(
+        self, explanation, clean_predictions
+    ):
+        assert explanation.predicted_label == clean_predictions[10]
+
+    def test_explicit_label_respected(self, tiny_graph, trained_model):
+        explainer = GNNExplainer(trained_model, epochs=5, seed=0)
+        explanation = explainer.explain_node(tiny_graph, 10, label=0)
+        assert explanation.predicted_label == 0
+
+    def test_deterministic_given_seed(self, tiny_graph, trained_model):
+        first = GNNExplainer(trained_model, epochs=15, seed=9).explain_node(
+            tiny_graph, 12
+        )
+        second = GNNExplainer(trained_model, epochs=15, seed=9).explain_node(
+            tiny_graph, 12
+        )
+        assert first.edges == second.edges
+        assert np.allclose(first.weights, second.weights)
+
+
+class TestInspectorBehaviour:
+    def test_adversarial_edge_ranks_high(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        """The paper's Section 3 finding: explainers expose gradient attacks."""
+        from repro.attacks import FGATargeted
+
+        node, target_label, budget = flippable_victim
+        attack = FGATargeted(trained_model, seed=1)
+        result = attack.attack(tiny_graph, node, target_label, budget)
+        assert result.added_edges
+        explainer = GNNExplainer(trained_model, epochs=50, seed=2)
+        explanation = explainer.explain_node(result.perturbed_graph, node)
+        ranking = explanation.ranking()
+        positions = [
+            ranking.index(edge) for edge in result.added_edges if edge in ranking
+        ]
+        assert positions, "adversarial edges missing from the explanation"
+        # At least one injected edge in the top half of the ranking.
+        assert min(positions) < max(1, len(ranking) // 2)

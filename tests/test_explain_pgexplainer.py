@@ -1,0 +1,120 @@
+"""PGExplainer: training, inductive explanation, building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, grad
+from repro.explain import PGExplainer
+from repro.explain.pg_explainer import (
+    apply_edge_mlp,
+    masked_adjacency_from_edge_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_pg(tiny_graph, trained_model):
+    explainer = PGExplainer(trained_model, epochs=8, seed=0)
+    return explainer.fit(tiny_graph, instances=8)
+
+
+class TestBuildingBlocks:
+    def test_apply_edge_mlp_shapes(self, rng):
+        weights = [
+            Tensor(rng.standard_normal((6, 4))),
+            Tensor(np.zeros(4)),
+            Tensor(rng.standard_normal((4, 1))),
+            Tensor(np.zeros(1)),
+        ]
+        out = apply_edge_mlp(weights, Tensor(rng.standard_normal((10, 6))))
+        assert out.shape == (10, 1)
+
+    def test_apply_edge_mlp_differentiable_in_weights(self, rng):
+        weights = [
+            Tensor(rng.standard_normal((6, 4)), requires_grad=True),
+            Tensor(np.zeros(4), requires_grad=True),
+            Tensor(rng.standard_normal((4, 1)), requires_grad=True),
+            Tensor(np.zeros(1), requires_grad=True),
+        ]
+        out = apply_edge_mlp(weights, Tensor(rng.standard_normal((5, 6)))).sum()
+        grads = grad(out, weights, allow_unused=True)
+        assert grads[0] is not None
+
+    def test_masked_adjacency_symmetric(self, rng):
+        rows = np.array([0, 1])
+        cols = np.array([2, 3])
+        values = Tensor(np.array([0.5, 0.8]), requires_grad=True)
+        masked = masked_adjacency_from_edge_weights(4, rows, cols, values)
+        assert np.allclose(masked.data, masked.data.T)
+        assert masked.data[0, 2] == pytest.approx(0.5)
+        assert masked.data[3, 1] == pytest.approx(0.8)
+
+    def test_masked_adjacency_differentiable(self):
+        rows = np.array([0])
+        cols = np.array([1])
+        values = Tensor(np.array([0.3]), requires_grad=True)
+        masked = masked_adjacency_from_edge_weights(2, rows, cols, values)
+        g = grad(masked.sum(), values)
+        assert g.data[0] == pytest.approx(2.0)  # both directions
+
+
+class TestTraining:
+    def test_unfitted_explain_raises(self, tiny_graph, trained_model):
+        explainer = PGExplainer(trained_model, seed=0)
+        with pytest.raises(RuntimeError):
+            explainer.explain_node(tiny_graph, 0)
+
+    def test_fit_sets_flag(self, fitted_pg):
+        assert fitted_pg.fitted
+
+    def test_fit_moves_weights(self, tiny_graph, trained_model):
+        explainer = PGExplainer(trained_model, epochs=4, seed=1)
+        before = [w.data.copy() for w in explainer.weights]
+        explainer.fit(tiny_graph, instances=6)
+        moved = any(
+            not np.allclose(b, w.data)
+            for b, w in zip(before, explainer.weights)
+        )
+        assert moved
+
+    def test_fit_with_explicit_nodes(self, tiny_graph, trained_model):
+        explainer = PGExplainer(trained_model, epochs=3, seed=2)
+        explainer.fit(tiny_graph, nodes=[5, 10, 15])
+        assert explainer.fitted
+
+
+class TestExplanation:
+    def test_scores_subgraph_edges(self, fitted_pg, tiny_graph):
+        explanation = fitted_pg.explain_node(tiny_graph, 10)
+        assert len(explanation.edges) > 0
+        for u, v in explanation.edges:
+            assert tiny_graph.has_edge(u, v)
+        assert np.all((explanation.weights > 0) & (explanation.weights < 1))
+
+    def test_inductive_on_perturbed_graph(
+        self, fitted_pg, tiny_graph, flippable_victim
+    ):
+        """Fitted once on the clean graph, applied to an attacked graph."""
+        node, target_label, budget = flippable_victim
+        from repro.attacks import FGATargeted
+
+        result = FGATargeted(fitted_pg.model, seed=3).attack(
+            tiny_graph, node, target_label, budget
+        )
+        explanation = fitted_pg.explain_node(result.perturbed_graph, node)
+        explained = set(explanation.edges)
+        assert any(edge in explained for edge in result.added_edges)
+
+    def test_embeddings_shape(self, fitted_pg, tiny_graph):
+        embeddings = fitted_pg.node_embeddings(tiny_graph)
+        assert embeddings.shape == (tiny_graph.num_nodes, 12)
+
+    def test_edge_inputs_layout(self, fitted_pg, tiny_graph):
+        embeddings = fitted_pg.node_embeddings(tiny_graph)
+        rows = np.array([0, 1])
+        cols = np.array([2, 3])
+        inputs = fitted_pg.edge_inputs(embeddings, rows, cols, target=7)
+        assert inputs.shape == (2, 3 * embeddings.shape[1])
+        width = embeddings.shape[1]
+        assert np.allclose(inputs[0, :width], embeddings[0])
+        assert np.allclose(inputs[0, width : 2 * width], embeddings[2])
+        assert np.allclose(inputs[0, 2 * width :], embeddings[7])

@@ -1,0 +1,134 @@
+"""Failure injection: degenerate graphs, exhausted candidates, edge cases."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.attacks import (
+    FGATargeted,
+    GEAttack,
+    Nettack,
+    RandomAttack,
+    candidate_nodes,
+)
+from repro.explain import GNNExplainer
+from repro.graph import Graph, k_hop_subgraph, normalize_adjacency
+from repro.nn import GCN, train_node_classifier
+
+
+@pytest.fixture(scope="module")
+def micro_setup():
+    """A 12-node graph where label-1 candidates can be exhausted."""
+    rng = np.random.default_rng(3)
+    n = 12
+    adjacency = sp.lil_matrix((n, n))
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (6, 7), (0, 6),
+             (8, 9), (9, 10), (10, 11), (2, 8)]
+    for u, v in edges:
+        adjacency[u, v] = adjacency[v, u] = 1
+    features = rng.random((n, 6))
+    labels = np.array([0, 0, 0, 1, 1, 1, 0, 0, 2, 2, 2, 2])
+    graph = Graph(adjacency.tocsr(), features, labels)
+    model = GCN(6, 4, 3, rng, dropout=0.0)
+    train_node_classifier(
+        model,
+        normalize_adjacency(graph.adjacency),
+        features,
+        labels,
+        np.arange(8),
+        np.arange(8, 12),
+        epochs=40,
+    )
+    return graph, model
+
+
+class TestCandidateExhaustion:
+    def test_budget_larger_than_candidates(self, micro_setup):
+        graph, model = micro_setup
+        # Only three label-1 nodes exist; node 0 may already touch some.
+        available = candidate_nodes(graph, 0, target_label=1).size
+        result = RandomAttack(model, seed=0).attack(graph, 0, 1, 100)
+        assert len(result.added_edges) == available
+
+    def test_gradient_attack_stops_gracefully(self, micro_setup):
+        graph, model = micro_setup
+        available = candidate_nodes(graph, 0, target_label=1).size
+        result = FGATargeted(model, seed=0).attack(graph, 0, 1, 100)
+        assert len(result.added_edges) == available
+
+    def test_geattack_stops_gracefully(self, micro_setup):
+        graph, model = micro_setup
+        available = candidate_nodes(graph, 0, target_label=1).size
+        result = GEAttack(model, seed=0, inner_steps=1).attack(graph, 0, 1, 100)
+        assert len(result.added_edges) == available
+
+    def test_zero_budget_is_noop(self, micro_setup):
+        graph, model = micro_setup
+        result = FGATargeted(model, seed=0).attack(graph, 0, 1, 0)
+        assert result.added_edges == []
+        assert (result.perturbed_graph.adjacency != graph.adjacency).nnz == 0
+
+
+class TestDegenerateExplanations:
+    def test_explaining_low_degree_node(self, micro_setup):
+        graph, model = micro_setup
+        degree_one = int(np.flatnonzero(graph.degrees() == 1)[0])
+        explanation = GNNExplainer(model, epochs=10, seed=0).explain_node(
+            graph, degree_one
+        )
+        assert len(explanation.edges) >= 1
+
+    def test_isolated_node_subgraph(self):
+        adjacency = sp.lil_matrix((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1
+        graph = Graph(adjacency.tocsr(), np.eye(4), np.zeros(4, dtype=int))
+        subgraph, nodes, local = k_hop_subgraph(graph, 3, 2)
+        assert subgraph.num_nodes == 1
+        assert nodes.tolist() == [3]
+        assert local == 0
+
+
+class TestNettackDegenerate:
+    def test_degree_test_with_all_degree_one(self, micro_setup):
+        from repro.attacks.nettack import degree_test_statistic
+
+        degrees = np.ones(20)
+        modified = degrees.copy()
+        modified[0] = 2
+        statistic = degree_test_statistic(degrees, modified)
+        assert np.isfinite(statistic)
+
+    def test_attack_single_candidate(self, micro_setup):
+        graph, model = micro_setup
+        result = Nettack(model, seed=0).attack(graph, 6, 2, 1)
+        assert len(result.added_edges) <= 1
+
+
+class TestNumericalRobustness:
+    def test_geattack_gradient_finite(self, micro_setup):
+        from repro.attacks.base import DenseGCNForward
+        from repro.attacks.geattack import evasion_matrix
+        from repro.autodiff.tensor import Tensor, grad
+
+        graph, model = micro_setup
+        attack = GEAttack(model, seed=0, inner_steps=3, inner_lr=0.5)
+        forward = DenseGCNForward(model, graph.features)
+        adjacency = Tensor(graph.dense_adjacency(), requires_grad=True)
+        joint = attack.joint_loss(
+            forward,
+            adjacency,
+            0,
+            1,
+            evasion_matrix(graph),
+            np.zeros((graph.num_nodes,) * 2),
+        )
+        gradient = grad(joint, adjacency)
+        assert np.all(np.isfinite(gradient.data))
+
+    def test_explainer_on_perturbed_graph_finite(self, micro_setup):
+        graph, model = micro_setup
+        perturbed = graph.with_edges_added([(0, 8), (0, 9)])
+        explanation = GNNExplainer(model, epochs=20, seed=0).explain_node(
+            perturbed, 0
+        )
+        assert np.all(np.isfinite(explanation.weights))

@@ -1,0 +1,69 @@
+"""GEAttack ablations: greedy vs one-shot selection."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import GEAttack
+
+
+class TestOneShot:
+    def test_one_shot_respects_budget(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        node, target_label, budget = flippable_victim
+        attack = GEAttack(trained_model, seed=0, greedy=False)
+        result = attack.attack(tiny_graph, node, target_label, budget)
+        assert len(result.added_edges) <= budget
+        assert all(node in edge for edge in result.added_edges)
+
+    def test_one_shot_single_edge_matches_greedy(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        """With Δ=1 the two strategies see the same gradient and agree."""
+        node, target_label, _ = flippable_victim
+        greedy = GEAttack(trained_model, seed=0, greedy=True).attack(
+            tiny_graph, node, target_label, 1
+        )
+        one_shot = GEAttack(trained_model, seed=0, greedy=False).attack(
+            tiny_graph, node, target_label, 1
+        )
+        assert greedy.added_edges == one_shot.added_edges
+
+    def test_strategies_may_diverge_at_larger_budget(
+        self, tiny_graph, trained_model, flippable_victim
+    ):
+        """Greedy re-evaluates after each insertion; one-shot cannot.
+
+        They are allowed to coincide, but greedy must never be *weaker* at
+        attacking on this fixture (the design-decision rationale)."""
+        node, target_label, budget = flippable_victim
+        if budget < 2:
+            pytest.skip("needs budget >= 2")
+        greedy = GEAttack(trained_model, seed=0, greedy=True).attack(
+            tiny_graph, node, target_label, budget
+        )
+        one_shot = GEAttack(trained_model, seed=0, greedy=False).attack(
+            tiny_graph, node, target_label, budget
+        )
+        assert int(greedy.hit_target) >= int(one_shot.hit_target)
+
+    def test_zero_candidates_handled(self, trained_model, tiny_graph):
+        # Pick a label with no candidates by exhausting: use an absurd label
+        # index bounded by num_classes-1 but fully connected is impractical;
+        # instead verify empty-candidate path via a victim already connected
+        # to every target-label node.
+        labels = tiny_graph.labels
+        target_label = int(labels[0])
+        members = np.flatnonzero(labels == target_label)
+        victim = None
+        for node in range(tiny_graph.num_nodes):
+            neighbors = set(tiny_graph.neighbors(node).tolist()) | {node}
+            if set(members.tolist()) <= neighbors:
+                victim = node
+                break
+        if victim is None:
+            pytest.skip("no fully-saturated victim in fixture")
+        result = GEAttack(trained_model, seed=0, greedy=False).attack(
+            tiny_graph, victim, target_label, 3
+        )
+        assert result.added_edges == []

@@ -1,0 +1,129 @@
+"""Graph container invariants and perturbation semantics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph
+
+
+def path_graph(n=5):
+    adjacency = sp.lil_matrix((n, n))
+    for i in range(n - 1):
+        adjacency[i, i + 1] = 1
+        adjacency[i + 1, i] = 1
+    features = np.eye(n)
+    labels = np.arange(n) % 2
+    return Graph(adjacency.tocsr(), features, labels, name="path")
+
+
+class TestConstruction:
+    def test_symmetrizes_input(self):
+        adjacency = sp.lil_matrix((3, 3))
+        adjacency[0, 1] = 1  # only one direction given
+        graph = Graph(adjacency, np.eye(3), np.zeros(3))
+        assert graph.has_edge(1, 0)
+
+    def test_strips_self_loops(self):
+        adjacency = sp.eye(3, format="lil")
+        adjacency[0, 1] = adjacency[1, 0] = 1
+        graph = Graph(adjacency, np.eye(3), np.zeros(3))
+        assert graph.num_edges == 1
+        assert not graph.has_edge(0, 0)
+
+    def test_binarizes_weights(self):
+        adjacency = sp.lil_matrix((2, 2))
+        adjacency[0, 1] = adjacency[1, 0] = 7.5
+        graph = Graph(adjacency, np.eye(2), np.zeros(2))
+        assert graph.adjacency[0, 1] == 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Graph(sp.eye(3), np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            Graph(sp.eye(3), np.eye(3), np.zeros(2))
+
+    def test_counts(self):
+        graph = path_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert graph.num_features == 5
+        assert graph.num_classes == 2
+
+
+class TestAccessors:
+    def test_degrees(self):
+        graph = path_graph(4)
+        assert np.array_equal(graph.degrees(), [1, 2, 2, 1])
+
+    def test_neighbors_sorted(self):
+        graph = path_graph(4)
+        assert np.array_equal(graph.neighbors(1), [0, 2])
+
+    def test_edge_set_canonical(self):
+        graph = path_graph(3)
+        assert graph.edge_set() == {(0, 1), (1, 2)}
+
+    def test_dense_adjacency_symmetric(self):
+        dense = path_graph(4).dense_adjacency()
+        assert np.array_equal(dense, dense.T)
+
+
+class TestPerturbation:
+    def test_with_edges_added_is_functional(self):
+        graph = path_graph(4)
+        perturbed = graph.with_edges_added([(0, 3)])
+        assert perturbed.has_edge(0, 3)
+        assert not graph.has_edge(0, 3)  # original untouched
+
+    def test_with_edges_removed(self):
+        graph = path_graph(4)
+        cut = graph.with_edges_removed([(1, 2)])
+        assert not cut.has_edge(1, 2)
+        assert cut.num_edges == graph.num_edges - 1
+
+    def test_self_loop_addition_rejected(self):
+        with pytest.raises(ValueError):
+            path_graph(3).with_edges_added([(1, 1)])
+
+    def test_adding_existing_edge_is_idempotent(self):
+        graph = path_graph(3)
+        again = graph.with_edges_added([(0, 1)])
+        assert again.num_edges == graph.num_edges
+
+    def test_copy_is_deep(self):
+        graph = path_graph(3)
+        clone = graph.copy()
+        clone.features[0, 0] = 99.0
+        assert graph.features[0, 0] != 99.0
+
+
+class TestSubstructure:
+    def test_subgraph_relabels(self):
+        graph = path_graph(5)
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 2)
+
+    def test_subgraph_keeps_features_labels(self):
+        graph = path_graph(5)
+        sub = graph.subgraph([2, 4])
+        assert np.array_equal(sub.features[0], graph.features[2])
+        assert sub.labels[1] == graph.labels[4]
+
+    def test_lcc_selects_largest(self):
+        adjacency = sp.lil_matrix((6, 6))
+        # component A: 0-1-2 (3 nodes); component B: 3-4 (2 nodes); isolated 5
+        for u, v in [(0, 1), (1, 2), (3, 4)]:
+            adjacency[u, v] = adjacency[v, u] = 1
+        graph = Graph(adjacency, np.eye(6), np.zeros(6))
+        lcc, index = graph.largest_connected_component()
+        assert lcc.num_nodes == 3
+        assert np.array_equal(index, [0, 1, 2])
+
+    def test_lcc_of_connected_graph_is_identity(self):
+        graph = path_graph(4)
+        lcc, index = graph.largest_connected_component()
+        assert lcc.num_nodes == 4
+        assert np.array_equal(index, np.arange(4))

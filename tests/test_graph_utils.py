@@ -1,0 +1,112 @@
+"""Normalization and k-hop subgraph utilities."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autodiff.gradcheck import gradcheck
+from repro.autodiff.tensor import Tensor, grad
+from repro.graph import (
+    Graph,
+    edge_tuple,
+    edges_to_mask_index,
+    k_hop_nodes,
+    k_hop_subgraph,
+    normalize_adjacency,
+    normalize_adjacency_tensor,
+)
+
+
+def star_graph(n=5):
+    adjacency = sp.lil_matrix((n, n))
+    for leaf in range(1, n):
+        adjacency[0, leaf] = adjacency[leaf, 0] = 1
+    return Graph(adjacency, np.eye(n), np.zeros(n))
+
+
+class TestNormalization:
+    def test_known_two_node_value(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        normalized = normalize_adjacency(adjacency).toarray()
+        # A+I has degree 2 everywhere → every entry 1/2.
+        assert np.allclose(normalized, np.full((2, 2), 0.5))
+
+    def test_rows_scale_like_symmetric_norm(self):
+        graph = star_graph(5)
+        normalized = normalize_adjacency(graph.adjacency).toarray()
+        assert np.allclose(normalized, normalized.T)
+        # diag entries are 1/(d+1)
+        degrees = graph.degrees()
+        assert np.allclose(np.diag(normalized), 1.0 / (degrees + 1))
+
+    def test_tensor_matches_sparse(self, tiny_graph):
+        sparse_version = normalize_adjacency(tiny_graph.adjacency).toarray()
+        tensor_version = normalize_adjacency_tensor(
+            Tensor(tiny_graph.dense_adjacency())
+        ).data
+        assert np.allclose(sparse_version, tensor_version, atol=1e-12)
+
+    def test_tensor_version_differentiable(self):
+        adjacency = Tensor(
+            np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]),
+            requires_grad=True,
+        )
+        gradcheck(lambda a: (normalize_adjacency_tensor(a) ** 2).sum(), [adjacency])
+
+    def test_no_self_loops_option(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        normalized = normalize_adjacency(adjacency, self_loops=False).toarray()
+        assert np.allclose(normalized, np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_isolated_node_handled(self):
+        adjacency = sp.csr_matrix((3, 3))
+        normalized = normalize_adjacency(adjacency, self_loops=False).toarray()
+        assert np.all(np.isfinite(normalized))
+
+
+class TestKHop:
+    def test_matches_networkx_bfs(self, tiny_graph):
+        nx_graph = nx.from_scipy_sparse_array(tiny_graph.adjacency)
+        for node in [0, 5, 17]:
+            for hops in [1, 2]:
+                mine = set(k_hop_nodes(tiny_graph.adjacency, node, hops).tolist())
+                reference = set(
+                    nx.single_source_shortest_path_length(
+                        nx_graph, node, cutoff=hops
+                    ).keys()
+                )
+                assert mine == reference
+
+    def test_zero_hops_is_self(self, tiny_graph):
+        assert k_hop_nodes(tiny_graph.adjacency, 3, 0).tolist() == [3]
+
+    def test_subgraph_center_index(self, tiny_graph):
+        subgraph, nodes, local = k_hop_subgraph(tiny_graph, 10, 2)
+        assert nodes[local] == 10
+        assert subgraph.num_nodes == nodes.size
+
+    def test_subgraph_extra_nodes_included(self, tiny_graph):
+        far_node = int(
+            np.setdiff1d(
+                np.arange(tiny_graph.num_nodes),
+                k_hop_nodes(tiny_graph.adjacency, 0, 2),
+            )[0]
+        )
+        _, nodes, _ = k_hop_subgraph(tiny_graph, 0, 2, extra_nodes=[far_node])
+        assert far_node in nodes
+
+    def test_star_one_hop_is_everything(self):
+        graph = star_graph(6)
+        assert k_hop_nodes(graph.adjacency, 0, 1).size == 6
+
+
+class TestEdgeHelpers:
+    def test_edge_tuple_sorts(self):
+        assert edge_tuple(5, 2) == (2, 5)
+        assert edge_tuple(2, 5) == (2, 5)
+
+    def test_edges_to_mask_index_drops_absent(self):
+        mapping = {1: 0, 2: 1}
+        local = edges_to_mask_index([(1, 2), (1, 9)], mapping)
+        assert local == [(0, 1)]

@@ -1,0 +1,131 @@
+"""Detection and attack-success metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    attack_success_rate,
+    attack_success_rate_targeted,
+    f1_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    prediction_margin,
+    recall_at_k,
+)
+
+
+RANKED = [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]
+
+
+class TestPrecisionRecall:
+    def test_perfect_detection(self):
+        assert precision_at_k(RANKED, RANKED[:2], 2) == 1.0
+        assert recall_at_k(RANKED, RANKED[:2], 2) == 1.0
+
+    def test_zero_detection(self):
+        assert precision_at_k(RANKED, [(9, 10)], 5) == 0.0
+        assert recall_at_k(RANKED, [(9, 10)], 5) == 0.0
+
+    def test_partial(self):
+        adversarial = [(0, 2), (0, 9)]
+        assert precision_at_k(RANKED, adversarial, 3) == pytest.approx(1 / 3)
+        assert recall_at_k(RANKED, adversarial, 3) == pytest.approx(0.5)
+
+    def test_canonicalization(self):
+        assert precision_at_k([(1, 0)], [(0, 1)], 1) == 1.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKED, RANKED, 0)
+
+    def test_recall_empty_adversarial_is_nan(self):
+        assert np.isnan(recall_at_k(RANKED, [], 3))
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        adversarial = [(0, 1), (0, 9)]
+        precision = precision_at_k(RANKED, adversarial, 2)  # 1/2
+        recall = recall_at_k(RANKED, adversarial, 2)  # 1/2
+        assert f1_at_k(RANKED, adversarial, 2) == pytest.approx(
+            2 * precision * recall / (precision + recall)
+        )
+
+    def test_zero_when_no_overlap(self):
+        assert f1_at_k(RANKED, [(9, 10)], 3) == 0.0
+
+
+class TestNDCG:
+    def test_hit_at_rank_one_is_best(self):
+        first = ndcg_at_k(RANKED, [(0, 1)], 5)
+        last = ndcg_at_k(RANKED, [(0, 5)], 5)
+        assert first == 1.0
+        assert last < first
+
+    def test_known_value_rank_two(self):
+        # single adversarial edge at rank 2: DCG=1/log2(3), IDCG=1
+        expected = 1.0 / np.log2(3)
+        assert ndcg_at_k(RANKED, [(0, 2)], 5) == pytest.approx(expected)
+
+    def test_all_relevant_is_one(self):
+        assert ndcg_at_k(RANKED, RANKED, 5) == pytest.approx(1.0)
+
+    def test_empty_adversarial_is_nan(self):
+        assert np.isnan(ndcg_at_k(RANKED, [], 5))
+
+    def test_outside_top_k_scores_zero(self):
+        assert ndcg_at_k(RANKED, [(0, 5)], 3) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=4), st.integers(min_value=1, max_value=5))
+def test_ndcg_monotone_in_rank(position, k):
+    """Moving the single adversarial edge earlier never lowers NDCG@K."""
+    edge = RANKED[position]
+    score = ndcg_at_k(RANKED, [edge], k)
+    if position > 0:
+        better = ndcg_at_k(RANKED, [RANKED[position - 1]], k)
+        assert better >= score
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=4), min_size=1))
+def test_precision_recall_f1_bounds(positions):
+    adversarial = [RANKED[i] for i in positions]
+    for k in (1, 3, 5):
+        p = precision_at_k(RANKED, adversarial, k)
+        r = recall_at_k(RANKED, adversarial, k)
+        f = f1_at_k(RANKED, adversarial, k)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 <= r <= 1.0
+        assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+
+
+class FakeResult:
+    def __init__(self, misclassified, hit_target):
+        self.misclassified = misclassified
+        self.hit_target = hit_target
+
+
+class TestSuccessRates:
+    def test_asr(self):
+        results = [FakeResult(True, False), FakeResult(False, False)]
+        assert attack_success_rate(results) == 0.5
+
+    def test_asr_t(self):
+        results = [FakeResult(True, True), FakeResult(True, False)]
+        assert attack_success_rate_targeted(results) == 0.5
+
+    def test_empty_is_nan(self):
+        assert np.isnan(attack_success_rate([]))
+        assert np.isnan(attack_success_rate_targeted([]))
+
+
+class TestMargin:
+    def test_confident_correct(self):
+        assert prediction_margin([0.8, 0.1, 0.1], 0) == pytest.approx(0.7)
+
+    def test_negative_when_losing(self):
+        assert prediction_margin([0.2, 0.8], 0) == pytest.approx(-0.6)

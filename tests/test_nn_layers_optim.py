@@ -1,0 +1,152 @@
+"""Layers (Linear/GCNConv/Dropout) and optimizers (SGD/Adam)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import autodiff as ad
+from repro.autodiff.tensor import Tensor, grad
+from repro.graph import normalize_adjacency
+from repro.nn import SGD, Adam, Dropout, GCNConv, Linear
+from repro.nn.layers import adjacency_matmul
+
+
+class TestAdjacencyMatmul:
+    def test_sparse_and_dense_agree(self, rng):
+        adjacency = sp.random(5, 5, density=0.5, random_state=0, format="csr")
+        features = Tensor(rng.standard_normal((5, 3)))
+        sparse_out = adjacency_matmul(adjacency, features)
+        dense_out = adjacency_matmul(Tensor(adjacency.toarray()), features)
+        assert np.allclose(sparse_out.data, dense_out.data)
+
+    def test_dense_path_differentiable_in_adjacency(self, rng):
+        adjacency = Tensor(rng.random((4, 4)), requires_grad=True)
+        features = Tensor(rng.standard_normal((4, 2)))
+        out = adjacency_matmul(adjacency, features).sum()
+        g = grad(out, adjacency)
+        assert g.shape == (4, 4)
+
+
+class TestLinear:
+    def test_shapes_and_bias(self, rng):
+        layer = Linear(3, 5, rng)
+        out = layer(np.ones((2, 3)))
+        assert out.shape == (2, 5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 5, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_glorot_scale(self, rng):
+        layer = Linear(100, 100, rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit + 1e-12
+
+
+class TestGCNConv:
+    def test_matches_manual_computation(self, rng):
+        conv = GCNConv(3, 2, rng)
+        adjacency = sp.eye(4, format="csr")
+        features = np.arange(12, dtype=float).reshape(4, 3)
+        out = conv(adjacency, features)
+        manual = features @ conv.weight.data + conv.bias.data
+        assert np.allclose(out.data, manual)
+
+    def test_gradient_reaches_weights(self, rng, tiny_graph):
+        conv = GCNConv(tiny_graph.num_features, 4, rng)
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        out = conv(normalized, tiny_graph.features).sum()
+        g = grad(out, conv.weight)
+        assert np.any(g.data != 0)
+
+
+class TestDropoutModule:
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.5, rng)
+
+    def test_training_flag(self, rng):
+        layer = Dropout(0.9, rng)
+        layer.training = False
+        out = layer(Tensor(np.ones(50)))
+        assert np.allclose(out.data, 1.0)
+
+
+def quadratic_problem():
+    """min ||w - target||² from zero init."""
+    from repro.nn.module import Parameter
+
+    target = np.array([1.0, -2.0, 3.0])
+    weight = Parameter(np.zeros(3))
+
+    def loss_and_grad():
+        loss = ((weight - Tensor(target)) ** 2).sum()
+        return loss, grad(loss, [weight])
+
+    return weight, target, loss_and_grad
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        weight, target, step_fn = quadratic_problem()
+        optimizer = SGD([weight], lr=0.1)
+        for _ in range(100):
+            _, grads = step_fn()
+            optimizer.step(grads)
+        assert np.allclose(weight.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        weight_plain, target, step_plain = quadratic_problem()
+        plain = SGD([weight_plain], lr=0.01)
+        weight_momentum, _, step_momentum = quadratic_problem()
+        momentum = SGD([weight_momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            plain.step(step_plain()[1])
+            momentum.step(step_momentum()[1])
+        error_plain = np.linalg.norm(weight_plain.data - target)
+        error_momentum = np.linalg.norm(weight_momentum.data - target)
+        assert error_momentum < error_plain
+
+    def test_weight_decay_shrinks(self):
+        from repro.nn.module import Parameter
+
+        weight = Parameter(np.array([10.0]))
+        optimizer = SGD([weight], lr=0.1, weight_decay=1.0)
+        optimizer.step([Tensor([0.0])])
+        assert weight.data[0] < 10.0
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_gradient_count_checked(self):
+        weight, _, _ = quadratic_problem()
+        optimizer = SGD([weight], lr=0.1)
+        with pytest.raises(ValueError):
+            optimizer.step([])
+
+    def test_none_gradient_skipped(self):
+        weight, _, _ = quadratic_problem()
+        before = weight.data.copy()
+        SGD([weight], lr=0.1).step([None])
+        assert np.array_equal(weight.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        weight, target, step_fn = quadratic_problem()
+        optimizer = Adam([weight], lr=0.1)
+        for _ in range(300):
+            _, grads = step_fn()
+            optimizer.step(grads)
+        assert np.allclose(weight.data, target, atol=1e-2)
+
+    def test_step_size_bounded_by_lr(self):
+        from repro.nn.module import Parameter
+
+        weight = Parameter(np.array([0.0]))
+        optimizer = Adam([weight], lr=0.01)
+        optimizer.step([Tensor([1000.0])])
+        # Adam normalizes by the gradient scale: |Δ| ≈ lr.
+        assert abs(weight.data[0]) <= 0.011

@@ -1,0 +1,148 @@
+"""GCN / LinearizedGCN model behaviour and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.graph import normalize_adjacency
+from repro.nn import (
+    GCN,
+    LinearizedGCN,
+    accuracy,
+    train_node_classifier,
+)
+
+
+class TestGCN:
+    def test_logits_shape(self, tiny_graph, rng):
+        model = GCN(tiny_graph.num_features, 8, tiny_graph.num_classes, rng)
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        out = model(normalized, tiny_graph.features)
+        assert out.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_predict_consistent_with_proba(self, tiny_graph, trained_model):
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        probabilities = trained_model.predict_proba(normalized, tiny_graph.features)
+        predictions = trained_model.predict(normalized, tiny_graph.features)
+        assert np.array_equal(probabilities.argmax(axis=1), predictions)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_proba_restores_training_mode(self, tiny_graph, rng):
+        model = GCN(tiny_graph.num_features, 8, tiny_graph.num_classes, rng)
+        model.train()
+        model.predict_proba(
+            normalize_adjacency(tiny_graph.adjacency), tiny_graph.features
+        )
+        assert model.training
+
+    def test_eval_forward_is_deterministic(self, tiny_graph, trained_model):
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        features = Tensor(tiny_graph.features)
+        trained_model.eval()
+        with no_grad():
+            first = trained_model(normalized, features).data
+            second = trained_model(normalized, features).data
+        assert np.array_equal(first, second)
+
+    def test_hidden_representation_shape(self, tiny_graph, trained_model):
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        with no_grad():
+            hidden = trained_model.hidden_representation(
+                normalized, Tensor(tiny_graph.features)
+            )
+        assert hidden.shape == (tiny_graph.num_nodes, 12)
+        assert np.all(hidden.data >= 0)  # post-ReLU
+
+
+class TestLinearizedGCN:
+    def test_from_gcn_distills_product(self, trained_model):
+        surrogate = LinearizedGCN.from_gcn(trained_model)
+        expected = trained_model.conv1.weight.data @ trained_model.conv2.weight.data
+        assert np.allclose(surrogate.weight.data, expected)
+
+    def test_forward_is_two_propagations(self, tiny_graph, trained_model):
+        surrogate = LinearizedGCN.from_gcn(trained_model)
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        with no_grad():
+            out = surrogate(normalized, Tensor(tiny_graph.features))
+        dense = normalized.toarray()
+        manual = dense @ (dense @ (tiny_graph.features @ surrogate.weight.data))
+        assert np.allclose(out.data, manual, atol=1e-8)
+
+    def test_surrogate_agrees_with_gcn_often(
+        self, tiny_graph, trained_model, clean_predictions
+    ):
+        surrogate = LinearizedGCN.from_gcn(trained_model)
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        with no_grad():
+            out = surrogate(normalized, Tensor(tiny_graph.features))
+        agreement = (out.data.argmax(axis=1) == clean_predictions).mean()
+        assert agreement > 0.5  # Nettack's transferability premise
+
+
+class TestTrainer:
+    def test_training_beats_chance(self, tiny_graph, tiny_split, rng):
+        model = GCN(tiny_graph.num_features, 8, tiny_graph.num_classes, rng)
+        result = train_node_classifier(
+            model,
+            normalize_adjacency(tiny_graph.adjacency),
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_split.train,
+            tiny_split.val,
+            tiny_split.test,
+            epochs=120,
+        )
+        chance = 1.0 / tiny_graph.num_classes
+        assert result.test_accuracy > chance + 0.1
+        assert result.best_epoch >= 0
+        assert len(result.train_losses) == len(result.val_accuracies)
+
+    def test_early_stopping_restores_best(self, tiny_graph, tiny_split, rng):
+        model = GCN(tiny_graph.num_features, 8, tiny_graph.num_classes, rng)
+        result = train_node_classifier(
+            model,
+            normalize_adjacency(tiny_graph.adjacency),
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_split.train,
+            tiny_split.val,
+            tiny_split.test,
+            epochs=80,
+            patience=10,
+        )
+        normalized = normalize_adjacency(tiny_graph.adjacency)
+        with no_grad():
+            logits = model(normalized, Tensor(tiny_graph.features))
+        val_acc = accuracy(logits.data, tiny_graph.labels, tiny_split.val)
+        assert val_acc == pytest.approx(result.best_val_accuracy, abs=1e-9)
+
+    def test_loss_decreases(self, tiny_graph, tiny_split, rng):
+        model = GCN(tiny_graph.num_features, 8, tiny_graph.num_classes, rng)
+        result = train_node_classifier(
+            model,
+            normalize_adjacency(tiny_graph.adjacency),
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_split.train,
+            tiny_split.val,
+            epochs=60,
+            patience=60,
+        )
+        assert result.train_losses[-1] < result.train_losses[0]
+
+
+class TestAccuracy:
+    def test_basic(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2.0 / 3.0)
+
+    def test_with_index(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        labels = np.array([0, 0])
+        assert accuracy(logits, labels, np.array([0])) == 1.0
+
+    def test_empty_index_is_nan(self):
+        logits = np.array([[1.0, 0.0]])
+        assert np.isnan(accuracy(logits, np.array([0]), np.array([], dtype=int)))

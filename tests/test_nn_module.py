@@ -1,0 +1,113 @@
+"""Module system: parameter discovery, modes, state dict round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GCN, MLP, Linear, Module, Parameter, Sequential
+
+
+class Composite(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.encoder = Linear(4, 3, rng)
+        self.heads = [Linear(3, 2, rng), Linear(3, 2, rng)]
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        hidden = self.encoder(x)
+        return self.heads[0](hidden) * self.scale
+
+
+class TestTraversal:
+    def test_named_parameters_cover_nested(self, rng):
+        model = Composite(rng)
+        names = dict(model.named_parameters())
+        assert "encoder.weight" in names
+        assert "heads.0.bias" in names
+        assert "heads.1.weight" in names
+        assert "scale" in names
+
+    def test_parameters_count(self, rng):
+        model = Composite(rng)
+        # encoder W+b, two heads W+b each, scale = 7
+        assert len(model.parameters()) == 7
+
+    def test_modules_iterates_children(self, rng):
+        model = Composite(rng)
+        assert len(list(model.modules())) == 4  # self + encoder + 2 heads
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        model = GCN(4, 3, 2, rng)
+        model.eval()
+        assert not model.dropout.training
+        model.train()
+        assert model.dropout.training
+
+    def test_zero_grad(self, rng):
+        model = Composite(rng)
+        for param in model.parameters():
+            param.grad = param.clone()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        for param in model.parameters():
+            param.data = param.data + 1.0
+        model.load_state_dict(state)
+        restored = model.state_dict()
+        for key in state:
+            assert np.array_equal(state[key], restored[key])
+
+    def test_state_dict_copies(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.state_dict()["scale"][0] == 1.0
+
+    def test_missing_key_raises(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = Composite(rng)
+        state = model.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        from repro.nn import ReLU
+
+        seq = Sequential(Linear(3, 4, rng), ReLU(), Linear(4, 2, rng))
+        out = seq(np.ones((5, 3)))
+        assert out.shape == (5, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+
+
+class TestMLP:
+    def test_requires_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_forward_shape(self, rng):
+        mlp = MLP([4, 8, 3], rng)
+        assert mlp(np.ones((6, 4))).shape == (6, 3)

@@ -1,0 +1,106 @@
+"""Property-based tests for the generic ranked-list detection metrics.
+
+These invariants hold for any ranking and any relevant set — hypothesis
+hunts the corners (empty lists, k larger than the list, all-relevant,
+duplicates in the relevant set).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    ranked_f1_at_k,
+    ranked_ndcg_at_k,
+    ranked_precision_at_k,
+    ranked_recall_at_k,
+)
+
+items = st.integers(min_value=0, max_value=30)
+rankings = st.lists(items, min_size=0, max_size=25, unique=True)
+relevant_sets = st.sets(items, min_size=1, max_size=10)
+ks = st.integers(min_value=1, max_value=30)
+
+
+@given(rankings, relevant_sets, ks)
+def test_precision_in_unit_interval(ranked, relevant, k):
+    value = ranked_precision_at_k(ranked, relevant, k)
+    assert 0.0 <= value <= 1.0
+
+
+@given(rankings, relevant_sets, ks)
+def test_recall_in_unit_interval(ranked, relevant, k):
+    value = ranked_recall_at_k(ranked, relevant, k)
+    assert 0.0 <= value <= 1.0
+
+
+@given(rankings, relevant_sets, ks)
+def test_ndcg_in_unit_interval(ranked, relevant, k):
+    value = ranked_ndcg_at_k(ranked, relevant, k)
+    assert 0.0 <= value <= 1.0
+
+
+@given(rankings, relevant_sets, ks)
+def test_f1_between_precision_and_recall(ranked, relevant, k):
+    """The harmonic mean lies between its two arguments."""
+    precision = ranked_precision_at_k(ranked, relevant, k)
+    recall = ranked_recall_at_k(ranked, relevant, k)
+    f1 = ranked_f1_at_k(ranked, relevant, k)
+    assert min(precision, recall) - 1e-12 <= f1 <= max(precision, recall) + 1e-12
+
+
+@given(rankings, relevant_sets, st.integers(min_value=1, max_value=24))
+def test_recall_monotone_in_k(ranked, relevant, k):
+    """Widening the cut-off can only find more relevant items."""
+    assert ranked_recall_at_k(ranked, relevant, k) <= ranked_recall_at_k(
+        ranked, relevant, k + 1
+    ) + 1e-12
+
+
+@given(relevant_sets, ks)
+def test_ideal_ranking_scores_one(relevant, k):
+    """Relevant items first ⇒ NDCG is 1 (up to float rounding)."""
+    ranked = sorted(relevant) + [100 + i for i in range(5)]
+    assert abs(ranked_ndcg_at_k(ranked, relevant, k) - 1.0) < 1e-9
+
+
+@given(relevant_sets, ks)
+def test_no_relevant_in_ranking_scores_zero(relevant, k):
+    """A ranking containing no relevant item scores 0 on all metrics."""
+    ranked = [100 + i for i in range(10)]  # disjoint from relevant (≤ 30)
+    assert ranked_precision_at_k(ranked, relevant, k) == 0.0
+    assert ranked_recall_at_k(ranked, relevant, k) == 0.0
+    assert ranked_f1_at_k(ranked, relevant, k) == 0.0
+    assert ranked_ndcg_at_k(ranked, relevant, k) == 0.0
+
+
+@given(rankings, relevant_sets, ks)
+@settings(max_examples=50)
+def test_ndcg_rewards_earlier_placement(ranked, relevant, k):
+    """Moving a relevant item to the front never lowers NDCG."""
+    hits = [item for item in ranked if item in relevant]
+    if not hits:
+        return
+    promoted = [hits[0]] + [item for item in ranked if item != hits[0]]
+    assert (
+        ranked_ndcg_at_k(promoted, relevant, k)
+        >= ranked_ndcg_at_k(ranked, relevant, k) - 1e-12
+    )
+
+
+@given(rankings, relevant_sets)
+def test_k_equal_to_length_uses_whole_list(ranked, relevant):
+    """Recall at k = len(list) counts every hit in the list."""
+    if not ranked:
+        return
+    k = len(ranked)
+    hits = sum(1 for item in ranked if item in relevant)
+    assert ranked_recall_at_k(ranked, relevant, k) == hits / len(relevant)
+
+
+def test_empty_relevant_is_nan():
+    assert np.isnan(ranked_recall_at_k([1, 2], [], 3))
+    assert np.isnan(ranked_f1_at_k([1, 2], [], 3))
+    assert np.isnan(ranked_ndcg_at_k([1, 2], [], 3))
+    # precision is defined (0 hits / k) even with nothing to find
+    assert ranked_precision_at_k([1, 2], [], 3) == 0.0

@@ -1,0 +1,117 @@
+"""Black-box transferability: GCN-computed attacks vs other victims."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FGATargeted
+from repro.graph import normalize_adjacency, row_normalize_adjacency
+from repro.nn import GraphSAGE, LinearizedGCN, train_node_classifier
+
+
+class TestRowNormalization:
+    def test_rows_sum_to_one(self, tiny_graph):
+        operator = row_normalize_adjacency(tiny_graph.adjacency)
+        sums = np.asarray(operator.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_without_self_loops(self, tiny_graph):
+        operator = row_normalize_adjacency(tiny_graph.adjacency, self_loops=False)
+        assert operator.diagonal().sum() == 0.0
+
+    def test_isolated_node_row_is_zero(self):
+        import scipy.sparse as sp
+
+        operator = row_normalize_adjacency(sp.csr_matrix((3, 3)), self_loops=False)
+        assert operator.nnz == 0
+
+
+@pytest.fixture(scope="module")
+def sage_model(tiny_graph, tiny_split):
+    rng = np.random.default_rng(21)
+    model = GraphSAGE(
+        tiny_graph.num_features, 12, tiny_graph.num_classes, rng, dropout=0.3
+    )
+    result = train_node_classifier(
+        model,
+        row_normalize_adjacency(tiny_graph.adjacency),
+        tiny_graph.features,
+        tiny_graph.labels,
+        tiny_split.train,
+        tiny_split.val,
+        tiny_split.test,
+        epochs=150,
+        patience=40,
+    )
+    assert result.test_accuracy > 1.0 / tiny_graph.num_classes
+    return model
+
+
+class TestGraphSAGE:
+    def test_forward_shape(self, tiny_graph, sage_model):
+        logits = sage_model(
+            row_normalize_adjacency(tiny_graph.adjacency),
+            tiny_graph.features,
+        )
+        assert logits.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_beats_chance(self, tiny_graph, tiny_split, sage_model):
+        predictions = sage_model.predict(
+            row_normalize_adjacency(tiny_graph.adjacency), tiny_graph.features
+        )
+        accuracy = (
+            predictions[tiny_split.test] == tiny_graph.labels[tiny_split.test]
+        ).mean()
+        assert accuracy > 1.0 / tiny_graph.num_classes + 0.1
+
+
+class TestTransfer:
+    def test_gcn_attack_measured_on_sage(
+        self, tiny_graph, trained_model, sage_model, flippable_victim
+    ):
+        """White-box GCN attack; black-box evaluation on GraphSAGE."""
+        node, target_label, budget = flippable_victim
+        result = FGATargeted(trained_model, seed=0).attack(
+            tiny_graph, node, target_label, budget
+        )
+        assert result.hit_target  # white-box success
+        before = sage_model.predict(
+            row_normalize_adjacency(tiny_graph.adjacency), tiny_graph.features
+        )[node]
+        after = sage_model.predict(
+            row_normalize_adjacency(result.perturbed_graph.adjacency),
+            result.perturbed_graph.features,
+        )[node]
+        # Transfer may or may not flip SAGE; the API must expose both states.
+        assert before in range(tiny_graph.num_classes)
+        assert after in range(tiny_graph.num_classes)
+
+    def test_gcn_attack_transfers_to_sgc(
+        self, tiny_graph, tiny_split, trained_model, flippable_victim
+    ):
+        """Transfer onto an independently *trained* linearized GCN (SGC)."""
+        rng = np.random.default_rng(31)
+        sgc = LinearizedGCN(
+            tiny_graph.num_features, tiny_graph.num_classes, rng
+        )
+        train_node_classifier(
+            sgc,
+            normalize_adjacency(tiny_graph.adjacency),
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_split.train,
+            tiny_split.val,
+            epochs=120,
+            patience=40,
+        )
+        node, target_label, budget = flippable_victim
+        result = FGATargeted(trained_model, seed=0).attack(
+            tiny_graph, node, target_label, budget
+        )
+        from repro.autodiff.tensor import Tensor, no_grad
+
+        with no_grad():
+            logits = sgc(
+                normalize_adjacency(result.perturbed_graph.adjacency),
+                Tensor(result.perturbed_graph.features),
+            )
+        assert logits.shape[0] == tiny_graph.num_nodes
