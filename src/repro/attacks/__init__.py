@@ -23,7 +23,14 @@ from repro.attacks.base import (
     AttackResult,
     CandidatePolicy,
     DenseGCNForward,
+    VictimSpec,
     candidate_nodes,
+    coerce_victim,
+)
+from repro.attacks.locality import (
+    IdentityScene,
+    LocalityScene,
+    build_locality_scene,
 )
 from repro.attacks.dice import DICE
 from repro.attacks.feature import (
@@ -72,6 +79,11 @@ __all__ = [
     "CandidatePolicy",
     "DICE",
     "DenseGCNForward",
+    "IdentityScene",
+    "LocalityScene",
+    "VictimSpec",
+    "build_locality_scene",
+    "coerce_victim",
     "FGA",
     "FGATargeted",
     "FGATExplainerEvasion",

@@ -14,9 +14,11 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, no_grad
+from repro.attacks.locality import build_locality_scene
 from repro.graph.utils import (
+    cached_normalized_adjacency,
     edge_tuple,
-    normalize_adjacency,
+    graph_cached,
     normalize_adjacency_tensor,
 )
 
@@ -25,7 +27,9 @@ __all__ = [
     "Attack",
     "DenseGCNForward",
     "CandidatePolicy",
+    "VictimSpec",
     "candidate_nodes",
+    "coerce_victim",
 ]
 
 
@@ -67,6 +71,37 @@ class AttackResult:
             self.target_label is not None
             and self.final_prediction == self.target_label
         )
+
+
+@dataclass(frozen=True)
+class VictimSpec:
+    """One victim of a batched attack: node, desired label, edge budget."""
+
+    node: int
+    target_label: int | None
+    budget: int
+
+
+def coerce_victim(victim):
+    """Accept a :class:`VictimSpec`, a pipeline ``Victim`` or a tuple."""
+    if isinstance(victim, VictimSpec):
+        return victim
+    if hasattr(victim, "node") and hasattr(victim, "budget"):
+        return VictimSpec(
+            node=int(victim.node),
+            target_label=(
+                None
+                if getattr(victim, "target_label", None) is None
+                else int(victim.target_label)
+            ),
+            budget=int(victim.budget),
+        )
+    node, target_label, budget = victim
+    return VictimSpec(
+        node=int(node),
+        target_label=None if target_label is None else int(target_label),
+        budget=int(budget),
+    )
 
 
 class CandidatePolicy:
@@ -112,7 +147,7 @@ class DenseGCNForward:
     :func:`repro.explain.gnn_explainer.explainer_loss`.
     """
 
-    def __init__(self, model, features):
+    def __init__(self, model, features, degree_offset=None):
         model.eval()
         features = np.asarray(features, dtype=np.float64)
         self.first_support = Tensor(features @ model.conv1.weight.data)
@@ -124,6 +159,9 @@ class DenseGCNForward:
             Tensor(model.conv2.bias.data) if model.conv2.bias is not None else None
         )
         self.num_classes = model.conv2.weight.shape[1]
+        #: Constant per-node degree correction for subgraph execution (the
+        #: boundary deficit of a locality view); ``None`` on the full graph.
+        self.degree_offset = degree_offset
 
     def __call__(self, normalized_adjacency, features=None):
         """Logits under an already *normalized* adjacency tensor."""
@@ -138,13 +176,31 @@ class DenseGCNForward:
 
     def logits_from_raw(self, adjacency_tensor):
         """Logits from a raw (unnormalized) dense adjacency tensor."""
-        return self(normalize_adjacency_tensor(adjacency_tensor))
+        return self(
+            normalize_adjacency_tensor(
+                adjacency_tensor, degree_offset=self.degree_offset
+            )
+        )
 
 
 class Attack:
-    """Base class: holds the frozen model and common evaluation helpers."""
+    """Base class: holds the frozen model and common evaluation helpers.
+
+    Subclasses implement :meth:`attack` for one victim; attacks that
+    support subgraph-locality execution (see
+    :mod:`repro.attacks.locality`) set ``supports_locality`` and accept an
+    optional ``locality`` scene in their :meth:`attack` signature.
+    :meth:`attack_many` is the batched multi-victim entry point: it builds
+    one locality scene per victim — so the dense inner math runs on the
+    victim's computation subgraph instead of the full graph — and can fan
+    victims out over a process pool.
+    """
 
     name = "base"
+    #: Whether :meth:`attack` accepts a ``locality`` scene.
+    supports_locality = False
+    #: Receptive-field depth of the attacked model (2-layer GCN).
+    locality_hops = 2
 
     def __init__(self, model, seed=0, candidate_policy=None):
         self.model = model
@@ -156,19 +212,142 @@ class Attack:
         """Return an :class:`AttackResult`; implemented by subclasses."""
         raise NotImplementedError
 
+    def attack_many(
+        self,
+        graph,
+        victims,
+        jobs=1,
+        locality=True,
+        max_subgraph_fraction=0.9,
+    ):
+        """Attack every victim; returns results in victim order.
+
+        Parameters
+        ----------
+        victims:
+            Iterable of :class:`VictimSpec`, pipeline ``Victim`` objects or
+            ``(node, target_label, budget)`` tuples.
+        jobs:
+            Process-pool width (:func:`repro.parallel.parallel_map`);
+            results are independent of ``jobs`` because every victim's RNG
+            stream is seeded by its global node id.
+        locality:
+            Run each victim on its extracted computation subgraph when the
+            attack supports it (falls back to the full graph per victim
+            whenever a scene cannot be built or would not pay).
+        """
+        from repro.parallel import parallel_map
+
+        specs = [coerce_victim(victim) for victim in victims]
+
+        def run_one(spec):
+            return self.attack_one(
+                graph,
+                spec,
+                locality=locality,
+                max_subgraph_fraction=max_subgraph_fraction,
+            )
+
+        return parallel_map(run_one, specs, jobs=jobs)
+
+    def attack_one(self, graph, victim, locality=True, max_subgraph_fraction=0.9):
+        """Attack one victim, on its locality subgraph when possible."""
+        spec = coerce_victim(victim)
+        scene = None
+        if locality and self.supports_locality:
+            scene = self.build_locality_scene(
+                graph, spec.node, spec.target_label, max_subgraph_fraction
+            )
+        if scene is None:
+            return self.attack(graph, spec.node, spec.target_label, spec.budget)
+        return self.attack(
+            graph, spec.node, spec.target_label, spec.budget, locality=scene
+        )
+
+    def build_locality_scene(
+        self, graph, target_node, target_label, max_subgraph_fraction=0.9
+    ):
+        """Locality scene for one victim, or ``None`` (full-graph path)."""
+        endpoints = self._locality_endpoints(graph, target_node, target_label)
+        if endpoints is None:
+            return None
+        nodes, frontier_key = endpoints
+        return build_locality_scene(
+            graph,
+            target_node,
+            nodes,
+            hops=self.locality_hops,
+            max_fraction=max_subgraph_fraction,
+            frontier_key=frontier_key,
+        )
+
+    def _locality_endpoints(self, graph, target_node, target_label):
+        """``(endpoint ids, frontier cache key)`` or ``None`` if unbounded.
+
+        The default covers the paper's attacker setting: under the
+        ``TARGET_LABEL`` candidate policy the only admissible endpoints are
+        the target-label nodes, a set shared by every victim with the same
+        target label (hence the cacheable frontier key).  Attacks whose
+        candidate set spans the whole graph return ``None`` and run on the
+        full graph.
+        """
+        policy = self.candidate_policy or (
+            CandidatePolicy.TARGET_LABEL
+            if target_label is not None
+            else CandidatePolicy.ANY
+        )
+        if policy != CandidatePolicy.TARGET_LABEL or target_label is None:
+            return None
+        label = int(target_label)
+        return np.flatnonzero(graph.labels == label), ("label", label)
+
     # -- helpers --------------------------------------------------------------
     def predict(self, graph, node=None):
-        """Model predictions on ``graph`` (all nodes, or one node)."""
-        normalized = normalize_adjacency(graph.adjacency)
-        with no_grad():
-            logits = self.model(normalized, Tensor(graph.features))
-        predictions = logits.data.argmax(axis=1)
+        """Model predictions on ``graph`` (all nodes, or one node).
+
+        Memoized per (graph, model): the clean graph is predicted once per
+        victim set instead of once per victim, and repeated queries on a
+        perturbed graph are free.  Safe because graphs are immutable and
+        the attacked model is frozen.
+        """
+
+        def compute():
+            normalized = cached_normalized_adjacency(graph)
+            with no_grad():
+                logits = self.model(normalized, Tensor(graph.features))
+            # Pin the model in the cached value so its id key can never be
+            # reused by a different model while this entry is alive.
+            return self.model, logits.data.argmax(axis=1)
+
+        model, predictions = graph_cached(
+            graph, ("predictions", id(self.model)), compute
+        )
         return int(predictions[int(node)]) if node is not None else predictions
 
     def _candidates(self, graph, target_node, target_label):
         return candidate_nodes(
             graph, target_node, target_label, policy=self.candidate_policy
         )
+
+    def _scene_forward(self, scene, view):
+        """Per-view :class:`DenseGCNForward`, memoized on the feature slice.
+
+        On the full graph the features never change, so the precomputed
+        ``X @ W₁`` is shared across all greedy steps; a locality view slices
+        fresh features per step and carries its own boundary degree deficit.
+        """
+        features, forward = scene.memo(
+            ("dense-forward", id(view.graph.features)),
+            lambda: (
+                view.graph.features,  # pin the array so the id key stays unique
+                DenseGCNForward(
+                    self.model,
+                    view.graph.features,
+                    degree_offset=view.raw_degree_offset,
+                ),
+            ),
+        )
+        return forward
 
     def _finalize(self, graph, perturbed, added, target_node, target_label):
         return AttackResult(

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.attacks.locality import IdentityScene
 from repro.graph.utils import edge_tuple
 
 __all__ = ["DICE"]
@@ -47,6 +48,7 @@ class DICE(Attack):
     """
 
     name = "DICE"
+    supports_locality = True
 
     def __init__(self, model, seed=0, candidate_policy=None, add_probability=0.5):
         super().__init__(model, seed=seed, candidate_policy=candidate_policy)
@@ -54,29 +56,33 @@ class DICE(Attack):
             raise ValueError("add_probability must lie in [0, 1]")
         self.add_probability = float(add_probability)
 
-    def attack(self, graph, target_node, target_label, budget):
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
-        rng = np.random.default_rng(self.seed + target_node)
+        scene = locality or IdentityScene(graph, target_node)
+        rng = np.random.default_rng(self.seed + scene.seed_node)
         true_label = int(graph.labels[target_node])
 
         perturbed = graph
         added = []
         removed = []
         for _ in range(int(budget)):
+            view = scene.view(perturbed)
+            # Local neighbor lists map to sorted global lists (view node ids
+            # ascend), so the rng draws below match full-graph execution.
             same_label_neighbors = [
-                int(v)
-                for v in perturbed.neighbors(target_node)
-                if int(perturbed.labels[v]) == true_label
-                and edge_tuple(target_node, v) not in added
+                view.to_global(v)
+                for v in view.graph.neighbors(view.node)
+                if int(view.graph.labels[v]) == true_label
+                and edge_tuple(target_node, view.to_global(v)) not in added
             ]
             do_add = rng.random() < self.add_probability or not same_label_neighbors
             if do_add:
                 candidates = self._insertion_candidates(
-                    perturbed, target_node, target_label
+                    view.graph, view.node, target_label
                 )
                 if candidates.size == 0:
                     continue
-                partner = int(rng.choice(candidates))
+                partner = view.to_global(int(rng.choice(candidates)))
                 edge = edge_tuple(target_node, partner)
                 added.append(edge)
                 perturbed = perturbed.with_edges_added([edge])

@@ -34,12 +34,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attacks.base import Attack
+from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad
 from repro.explain.gnn_explainer import explainer_loss
 from repro.graph import Graph
-from repro.graph.utils import k_hop_subgraph, normalize_adjacency
+from repro.graph.utils import cached_normalized_adjacency, k_hop_subgraph
 
 __all__ = ["FeatureAttackResult", "FeatureFGA", "GEFAttack"]
 
@@ -83,15 +84,26 @@ def graph_with_features_flipped(graph, node, feature_indices, value=1.0):
 
 
 class FeatureAttackBase(Attack):
-    """Shared machinery: candidate bits, victim-row gradient, finalize."""
+    """Shared machinery: candidate bits, victim-row gradient, finalize.
+
+    Feature attacks flip bits on the victim's own row, so their locality
+    subgraph is just the victim's (degree-closed) receptive field — no
+    candidate endpoints.  Feature dimensions are untouched by the node
+    re-indexing: flipped indices are global in either execution mode.
+    """
+
+    supports_locality = True
 
     def candidate_features(self, graph, target_node):
         """Indices of feature bits currently off at the victim (flippable)."""
         return np.flatnonzero(graph.features[int(target_node)] == 0.0)
 
+    def _locality_endpoints(self, graph, target_node, target_label):
+        return np.empty(0, dtype=np.int64), None
+
     def feature_gradient(self, graph, target_node, target_label, extra_loss=None):
         """∇_X ℓ at the victim's row (plus an optional differentiable term)."""
-        normalized = normalize_adjacency(graph.adjacency)
+        normalized = cached_normalized_adjacency(graph)
         features = Tensor(graph.features, requires_grad=True)
         logits = self.model(normalized, features)
         loss = F.cross_entropy(
@@ -124,17 +136,19 @@ class FeatureFGA(FeatureAttackBase):
 
     name = "FeatureFGA"
 
-    def attack(self, graph, target_node, target_label, budget):
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
         target_label = int(target_label)
         self.model.eval()
+        scene = locality or IdentityScene(graph, target_node)
         perturbed = graph
         flipped = []
         for _ in range(int(budget)):
-            candidates = self.candidate_features(perturbed, target_node)
+            view = scene.view(perturbed)
+            candidates = self.candidate_features(view.graph, view.node)
             if candidates.size == 0:
                 break
-            gradient = self.feature_gradient(perturbed, target_node, target_label)
+            gradient = self.feature_gradient(view.graph, view.node, target_label)
             scores = -gradient[candidates]
             best = int(candidates[int(np.argmax(scores))])
             flipped.append(best)
@@ -194,11 +208,12 @@ class GEFAttack(FeatureAttackBase):
         self.mask_init_scale = float(mask_init_scale)
         self.support_size = int(support_size)
 
-    def attack(self, graph, target_node, target_label, budget):
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
         target_label = int(target_label)
         self.model.eval()
-        rng = np.random.default_rng(self.seed + target_node)
+        scene = locality or IdentityScene(graph, target_node)
+        rng = np.random.default_rng(self.seed + scene.seed_node)
         # B_F over the clean graph: candidate (currently-off) bits carry the
         # penalty; bits already on stay out so clean explanations are
         # unaffected — the feature mirror of Eq. 5's B matrix.
@@ -209,13 +224,14 @@ class GEFAttack(FeatureAttackBase):
         perturbed = graph
         flipped = []
         for _ in range(int(budget)):
-            candidates = self.candidate_features(perturbed, target_node)
+            view = scene.view(perturbed)
+            candidates = self.candidate_features(view.graph, view.node)
             if candidates.size == 0:
                 break
             # Focus the penalty on the attack-plausible flips: the off-bits
             # the pure attack gradient ranks highest this step.
             attack_gradient = self.feature_gradient(
-                perturbed, target_node, target_label
+                view.graph, view.node, target_label
             )
             order = np.argsort(attack_gradient[candidates])
             support = candidates[order[: min(self.support_size, candidates.size)]]
@@ -223,8 +239,8 @@ class GEFAttack(FeatureAttackBase):
             step_evasion[support] = feature_evasion[support]
 
             gradient = self._joint_gradient(
-                perturbed,
-                target_node,
+                view.graph,
+                view.node,
                 target_label,
                 step_evasion,
                 mask_feature_init,
@@ -256,7 +272,7 @@ class GEFAttack(FeatureAttackBase):
         the attack loss and indirectly via the explainer's simulated
         feature-mask trajectory.
         """
-        normalized = normalize_adjacency(perturbed.adjacency)
+        normalized = cached_normalized_adjacency(perturbed)
         features = Tensor(perturbed.features, requires_grad=True)
         logits = self.model(normalized, features)
         attack_term = F.cross_entropy(

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.base import Attack, DenseGCNForward
+from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad
@@ -39,24 +40,28 @@ class FGA(Attack):
 
     name = "FGA"
     targeted = False
+    supports_locality = True
 
-    def attack(self, graph, target_node, target_label, budget):
-        forward = DenseGCNForward(self.model, graph.features)
+    def attack(self, graph, target_node, target_label, budget, locality=None):
+        target_node = int(target_node)
+        scene = locality or IdentityScene(graph, target_node)
         original = self.predict(graph, target_node)
         perturbed = graph
         added = []
         for _ in range(int(budget)):
+            view = scene.view(perturbed)
             label, sign = self._attack_direction(target_label, original)
-            candidates = self._step_candidates(perturbed, target_node, target_label)
+            candidates = self._step_candidates(view.graph, view.node, target_label)
             if candidates.size == 0:
                 break
-            adjacency = Tensor(perturbed.dense_adjacency(), requires_grad=True)
-            loss = targeted_loss(forward, adjacency, target_node, label)
+            forward = self._scene_forward(scene, view)
+            adjacency = Tensor(view.graph.dense_adjacency(), requires_grad=True)
+            loss = targeted_loss(forward, adjacency, view.node, label)
             gradient = grad(loss, adjacency).data
             # Undirected edge: entry (i, j) and (j, i) both change.
             scores = sign * (gradient + gradient.T)
-            best, _ = select_best_candidate(scores, target_node, candidates)
-            edge = (int(target_node), best)
+            best_local, _ = select_best_candidate(scores, view.node, candidates)
+            edge = (target_node, view.to_global(best_local))
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
         return self._finalize(graph, perturbed, added, target_node, target_label)
@@ -70,6 +75,12 @@ class FGA(Attack):
         if self.targeted:
             return self._candidates(graph, target_node, target_label)
         return self._candidates(graph, target_node, None)
+
+    def _locality_endpoints(self, graph, target_node, target_label):
+        # Untargeted FGA may connect to *any* node — no locality to exploit.
+        if not self.targeted:
+            return None
+        return super()._locality_endpoints(graph, target_node, target_label)
 
 
 class FGATargeted(FGA):

@@ -39,6 +39,10 @@ class FGATExplainerEvasion(FGATargeted):
         self.explainer_lr = float(explainer_lr)
         self.explanation_size = int(explanation_size)
 
+    # Overrides FGA-T's loop without the locality protocol: the explainer
+    # re-ranking consults full-graph explanations, so it runs unbatched.
+    supports_locality = False
+
     def attack(self, graph, target_node, target_label, budget):
         forward = DenseGCNForward(self.model, graph.features)
         perturbed = graph

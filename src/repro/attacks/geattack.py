@@ -36,6 +36,7 @@ import scipy.sparse as sp
 
 from repro.attacks.base import Attack, DenseGCNForward
 from repro.attacks.fga import targeted_loss
+from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad
@@ -101,6 +102,7 @@ class GEAttack(Attack):
     """
 
     name = "GEAttack"
+    supports_locality = True
 
     def __init__(
         self,
@@ -126,60 +128,73 @@ class GEAttack(Attack):
         self.greedy = bool(greedy)
         self.normalize_penalty = bool(normalize_penalty)
 
-    def attack(self, graph, target_node, target_label, budget):
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
         target_label = int(target_label)
-        forward = DenseGCNForward(self.model, graph.features)
-        rng = np.random.default_rng(self.seed + target_node)
-        n = graph.num_nodes
-        # Algorithm 1 line 3: B from the clean graph, M⁰ drawn once.
-        evasion = evasion_matrix(graph)
-        mask_init = rng.normal(0.0, self.mask_init_scale, size=(n, n))
+        scene = locality or IdentityScene(graph, target_node)
+        rng = np.random.default_rng(self.seed + scene.seed_node)
+        # Algorithm 1 line 3: M⁰ drawn once, sized by the *global* node
+        # count so subgraph execution slices the identical initialization.
+        mask_full = rng.normal(
+            0.0, self.mask_init_scale, size=(scene.num_global,) * 2
+        )
 
         if not self.greedy:
             return self._one_shot(
-                graph, forward, target_node, target_label, evasion, mask_init,
-                int(budget),
+                graph, scene, target_node, target_label, mask_full, int(budget)
             )
 
         perturbed = graph
         added = []
         for _ in range(int(budget)):
-            candidates = self._candidates(perturbed, target_node, target_label)
+            view = scene.view(perturbed)
+            candidates = self._candidates(view.graph, view.node, target_label)
             if candidates.size == 0:
                 break
             scores = self._candidate_scores(
-                forward, perturbed, target_node, target_label, evasion,
-                mask_init, candidates,
+                self._scene_forward(scene, view),
+                view.graph,
+                view.node,
+                target_label,
+                # B over the current graph: clean edges, the diagonal and
+                # every already-added edge are zero (Algorithm 1 line 10).
+                evasion_matrix(view.graph),
+                view.slice_square(mask_full),
+                candidates,
+                degree_offset=view.masked_degree_offset(mask_full),
             )
-            best = int(candidates[int(np.argmax(scores))])
+            best = view.to_global(int(candidates[int(np.argmax(scores))]))
             edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-            # Algorithm 1 line 10: the new edge leaves the penalty support.
-            evasion[target_node, best] = 0.0
-            evasion[best, target_node] = 0.0
         return self._finalize(graph, perturbed, added, target_node, target_label)
 
-    def _one_shot(
-        self, graph, forward, target_node, target_label, evasion, mask_init, budget
-    ):
+    def _one_shot(self, graph, scene, target_node, target_label, mask_full, budget):
         """Ablation: pick the top-Δ candidates from one joint gradient."""
-        candidates = self._candidates(graph, target_node, target_label)
+        view = scene.view(graph)
+        candidates = self._candidates(view.graph, view.node, target_label)
         added = []
         if candidates.size:
             scores = self._candidate_scores(
-                forward, graph, target_node, target_label, evasion,
-                mask_init, candidates,
+                self._scene_forward(scene, view),
+                view.graph,
+                view.node,
+                target_label,
+                evasion_matrix(view.graph),
+                view.slice_square(mask_full),
+                candidates,
+                degree_offset=view.masked_degree_offset(mask_full),
             )
             order = np.argsort(-scores)[: min(budget, candidates.size)]
-            added = [(target_node, int(candidates[i])) for i in order]
+            added = [
+                (target_node, view.to_global(int(candidates[i]))) for i in order
+            ]
         perturbed = graph.with_edges_added(added) if added else graph
         return self._finalize(graph, perturbed, added, target_node, target_label)
 
     def _candidate_scores(
         self, forward, graph, target_node, target_label, evasion, mask_init,
-        candidates,
+        candidates, degree_offset=None,
     ):
         """Per-candidate desirability of adding edge (victim, candidate).
 
@@ -200,14 +215,16 @@ class GEAttack(Attack):
             return -(gradient + gradient.T)[target_node, candidates]
         if not self.normalize_penalty:
             joint = attack_term + self.lam * self.explainer_penalty(
-                forward, adjacency, target_node, target_label, evasion, mask_init
+                forward, adjacency, target_node, target_label, evasion, mask_init,
+                degree_offset=degree_offset,
             )
             gradient = grad(joint, adjacency).data
             return -(gradient + gradient.T)[target_node, candidates]
 
         penalty_input = Tensor(graph.dense_adjacency(), requires_grad=True)
         penalty = self.explainer_penalty(
-            forward, penalty_input, target_node, target_label, evasion, mask_init
+            forward, penalty_input, target_node, target_label, evasion, mask_init,
+            degree_offset=degree_offset,
         )
         attack_gradient = grad(attack_term, adjacency).data
         penalty_gradient = grad(penalty, penalty_input).data
@@ -224,24 +241,28 @@ class GEAttack(Attack):
 
     # -- the bilevel objective ------------------------------------------------
     def joint_loss(
-        self, forward, adjacency, target_node, target_label, evasion, mask_init
+        self, forward, adjacency, target_node, target_label, evasion, mask_init,
+        degree_offset=None,
     ):
         """Eq. (7): attack loss + λ · explainer-mask penalty (differentiable)."""
         attack_term = targeted_loss(forward, adjacency, target_node, target_label)
         penalty = self.explainer_penalty(
-            forward, adjacency, target_node, target_label, evasion, mask_init
+            forward, adjacency, target_node, target_label, evasion, mask_init,
+            degree_offset=degree_offset,
         )
         return attack_term + self.lam * penalty
 
     def explainer_penalty(
-        self, forward, adjacency, target_node, target_label, evasion, mask_init
+        self, forward, adjacency, target_node, target_label, evasion, mask_init,
+        degree_offset=None,
     ):
         """Unroll T explainer steps; penalize victim-row mask mass on B.
 
         The inner updates (Eq. 8) are built with ``create_graph=True`` so the
         returned penalty is differentiable w.r.t. ``adjacency`` *through* the
         optimization path M⁰ → M¹ → … → M^T — the high-order-gradient trick
-        at the heart of GEAttack.
+        at the heart of GEAttack.  ``degree_offset`` is a locality view's
+        constant masked-degree correction (None on the full graph).
         """
         mask = Tensor(mask_init.copy(), requires_grad=True)
         for _ in range(self.inner_steps):
@@ -254,6 +275,7 @@ class GEAttack(Attack):
                 target_label,
                 self.size_coefficient,
                 self.entropy_coefficient,
+                degree_offset=degree_offset,
             )
             step_gradient = grad(inner, mask, create_graph=True)
             mask = mask - self.inner_lr * step_gradient

@@ -1,0 +1,263 @@
+"""Subgraph-locality execution for multi-victim attacks.
+
+Attacking one victim of a 2-layer GCN only ever reads a bounded
+neighborhood of the graph: the victim's receptive field plus the candidate
+endpoints it might connect to.  This module extracts that neighborhood once
+per victim (refreshing it as adversarial edges land) so the attack's dense
+O(n²) inner math runs on an ``s × s`` subgraph instead of the full ``n × n``
+matrix — the difference between O(full-graph) and O(subgraph) per victim.
+
+Exactness contract
+------------------
+
+The execution on the subgraph is *mathematically identical* to full-graph
+execution (up to float summation order), not an approximation.  Three
+ingredients make that true for a ``hops``-layer GCN:
+
+1. **Node set.**  A view over the perturbed graph induces the subgraph on
+   ``N_{hops+1}(victim) ∪ candidates ∪ N_{hops-1}(candidates)``: the
+   victim's receptive field *with its degree closure*, plus every eligible
+   endpoint with enough of its neighborhood to evaluate its hidden state.
+   Because adversarial edges are incident to the victim, refreshing the
+   victim frontier from the perturbed graph after each added edge keeps the
+   set sufficient for the whole greedy loop.
+
+2. **Degree deficits.**  Boundary nodes are missing out-of-subgraph edges,
+   but those edges are *constants* — never candidates for perturbation and
+   never reached by an explainer-mask gradient.  Their entire effect on any
+   in-subgraph quantity is a constant additive degree term, restored by the
+   ``degree_offset`` parameter of the normalizations:
+   :attr:`LocalityView.raw_degree_offset` for the plain adjacency and
+   :meth:`LocalityView.masked_degree_offset` for the mask-gated adjacency
+   inside GEAttack's unrolled explainer (where each missing edge
+   contributes ``σ(sym(M⁰))`` of its frozen initial mask value).
+
+3. **Global seeding.**  Scenes expose the victim's *global* id as
+   :attr:`seed_node` and size random draws by the *global* node count
+   (:attr:`num_global`), so per-victim RNG streams are identical whether an
+   attack runs on the full graph or on a subgraph, and identical across
+   shard orders of the parallel runner.
+
+:class:`IdentityScene` implements the same protocol over the full graph, so
+attack loops are written once against the scene/view interface and the
+classic single-victim path is the locality path with an identity mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.utils import cached_reach, k_hop_reach
+
+__all__ = [
+    "IdentityScene",
+    "LocalityScene",
+    "build_locality_scene",
+]
+
+
+def _sigmoid(values):
+    # Bit-identical to repro.autodiff.ops.sigmoid: the boundary offsets must
+    # reproduce the exact σ(M⁰) values the full-graph unroll computes, down
+    # to the last ulp, or near-tied candidate scores could diverge.
+    return np.where(
+        values >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(values, 0, None))),
+        np.exp(np.clip(values, None, 0)) / (1.0 + np.exp(np.clip(values, None, 0))),
+    )
+
+
+class IdentityView:
+    """Full-graph view: local ids are global ids, no boundary corrections."""
+
+    __slots__ = ("graph", "node")
+
+    nodes = None
+    raw_degree_offset = None
+
+    def __init__(self, graph, node):
+        self.graph = graph
+        self.node = int(node)
+
+    def to_global(self, local):
+        return int(local)
+
+    def to_global_array(self, local_nodes):
+        return np.asarray(local_nodes, dtype=np.int64)
+
+    def to_local_array(self, global_nodes):
+        return np.asarray(global_nodes, dtype=np.int64)
+
+    def slice_square(self, matrix):
+        return matrix
+
+    def masked_degree_offset(self, mask_full):
+        return None
+
+
+class LocalityView:
+    """One induced subgraph of the current perturbed graph.
+
+    ``nodes`` maps local ids to global ids (ascending, so sorted local
+    arrays map to sorted global arrays — rng draws over candidate arrays
+    stay aligned with the full-graph execution).
+    """
+
+    __slots__ = (
+        "graph",
+        "node",
+        "nodes",
+        "raw_degree_offset",
+        "_source",
+        "_masked_offset",
+        "_masked_offset_key",
+    )
+
+    def __init__(self, graph, node, nodes, raw_degree_offset, source):
+        self.graph = graph
+        self.node = int(node)
+        self.nodes = nodes
+        self.raw_degree_offset = raw_degree_offset
+        self._source = source  # the global perturbed graph this was cut from
+        self._masked_offset = None
+        self._masked_offset_key = None
+
+    def to_global(self, local):
+        return int(self.nodes[int(local)])
+
+    def to_global_array(self, local_nodes):
+        return self.nodes[np.asarray(local_nodes, dtype=np.int64)]
+
+    def to_local_array(self, global_nodes):
+        return np.searchsorted(self.nodes, np.asarray(global_nodes, dtype=np.int64))
+
+    def slice_square(self, matrix):
+        return matrix[np.ix_(self.nodes, self.nodes)]
+
+    def masked_degree_offset(self, mask_full):
+        """Masked-degree deficit of each subgraph node (see module docstring).
+
+        Out-of-subgraph edges contribute ``σ((M⁰ + M⁰ᵀ)/2)`` to the masked
+        degree of their in-subgraph endpoint.  Those mask entries never
+        receive gradient in the full-graph unroll (their edge cannot reach
+        the victim's prediction), so the contribution is a constant of the
+        greedy step — exactly what ``degree_offset`` restores.
+        """
+        if self._masked_offset is not None and self._masked_offset_key == id(
+            mask_full
+        ):
+            return self._masked_offset
+        boundary = self._source.adjacency[self.nodes].tocoo()
+        outside = np.ones(self._source.num_nodes, dtype=bool)
+        outside[self.nodes] = False
+        keep = outside[boundary.col]
+        offset = np.zeros(self.nodes.size, dtype=np.float64)
+        if keep.any():
+            rows_local = boundary.row[keep]
+            cols_global = boundary.col[keep]
+            rows_global = self.nodes[rows_local]
+            values = boundary.data[keep] * _sigmoid(
+                0.5
+                * (
+                    mask_full[rows_global, cols_global]
+                    + mask_full[cols_global, rows_global]
+                )
+            )
+            np.add.at(offset, rows_local, values)
+        self._masked_offset = offset
+        self._masked_offset_key = id(mask_full)
+        return offset
+
+
+class _SceneBase:
+    def memo(self, key, builder):
+        """Per-scene memo for view-derived objects (forwards, logits)."""
+        if key not in self._memo:
+            self._memo[key] = builder()
+        return self._memo[key]
+
+
+class IdentityScene(_SceneBase):
+    """The trivial scene: every view is the full perturbed graph."""
+
+    def __init__(self, graph, node):
+        self.seed_node = int(node)
+        self.num_global = graph.num_nodes
+        self._memo = {}
+
+    def view(self, perturbed):
+        return IdentityView(perturbed, self.seed_node)
+
+    def global_degrees(self, perturbed):
+        return perturbed.degrees()
+
+
+class LocalityScene(_SceneBase):
+    """Per-victim subgraph execution context.
+
+    ``base_mask`` is the fixed candidate-side node set (endpoints plus
+    their ``hops-1`` frontier, computed once on the clean graph); the
+    victim-side frontier is refreshed from the perturbed graph at every
+    view so the receptive field tracks added (and removed) edges.
+    """
+
+    def __init__(self, graph, node, base_mask, hops):
+        self.seed_node = int(node)
+        self.num_global = graph.num_nodes
+        self.hops = int(hops)
+        self._base_mask = base_mask
+        self._memo = {}
+
+    def view(self, perturbed):
+        mask = self._base_mask | k_hop_reach(
+            perturbed.adjacency, [self.seed_node], self.hops + 1
+        )
+        nodes = np.flatnonzero(mask).astype(np.int64)
+        subgraph = perturbed.subgraph(nodes)
+        local = int(np.searchsorted(nodes, self.seed_node))
+        raw_offset = (
+            perturbed.degrees()[nodes].astype(np.float64)
+            - subgraph.degrees().astype(np.float64)
+        )
+        return LocalityView(subgraph, local, nodes, raw_offset, perturbed)
+
+    def global_degrees(self, perturbed):
+        return perturbed.degrees()
+
+
+def build_locality_scene(
+    graph, node, endpoints, hops=2, max_fraction=0.9, frontier_key=None
+):
+    """Build a :class:`LocalityScene`, or ``None`` when locality cannot pay.
+
+    Parameters
+    ----------
+    endpoints:
+        Global ids of every node the attack might ever connect to the
+        victim (a superset is fine — supersets only grow the subgraph, they
+        never break exactness).
+    max_fraction:
+        If the initial subgraph would cover at least this fraction of the
+        graph, return ``None`` — the caller should run the plain full-graph
+        path rather than pay extraction overhead for no locality.
+    frontier_key:
+        Optional cache key describing ``endpoints`` (e.g. ``("label", 2)``);
+        when given, the endpoint frontier is memoized on the clean graph
+        and shared by every victim with the same key.
+    """
+    endpoints = np.asarray(endpoints, dtype=np.int64)
+    n = graph.num_nodes
+    if endpoints.size:
+        if frontier_key is not None:
+            base_mask = cached_reach(
+                graph, frontier_key, endpoints, max(0, int(hops) - 1)
+            )
+        else:
+            base_mask = k_hop_reach(graph.adjacency, endpoints, max(0, int(hops) - 1))
+        base_mask = base_mask.copy()
+    else:
+        base_mask = np.zeros(n, dtype=bool)
+    victim_mask = k_hop_reach(graph.adjacency, [int(node)], int(hops) + 1)
+    if int((base_mask | victim_mask).sum()) >= max_fraction * n:
+        return None
+    return LocalityScene(graph, int(node), base_mask, int(hops))

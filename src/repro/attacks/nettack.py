@@ -25,6 +25,7 @@ import scipy.sparse as sp
 
 from repro.attacks.base import Attack, DenseGCNForward
 from repro.attacks.fga import targeted_loss
+from repro.attacks.locality import IdentityScene
 from repro.autodiff.tensor import Tensor, grad
 from repro.graph.utils import normalize_adjacency
 from repro.nn.models import LinearizedGCN
@@ -119,6 +120,7 @@ class Nettack(Attack):
     """
 
     name = "Nettack"
+    supports_locality = True
 
     def __init__(
         self,
@@ -134,67 +136,83 @@ class Nettack(Attack):
         self.screen_size = int(screen_size)
         self.enforce_degree_test = bool(enforce_degree_test)
 
-    def attack(self, graph, target_node, target_label, budget):
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
+        scene = locality or IdentityScene(graph, target_node)
         weights = self.surrogate.weight.data
-        feature_logits = graph.features @ weights  # constant (n, C)
         perturbed = graph
         added = []
         for _ in range(int(budget)):
-            candidates = self._candidates(perturbed, target_node, target_label)
+            view = scene.view(perturbed)
+            candidates = self._candidates(view.graph, view.node, target_label)
             if self.enforce_degree_test and candidates.size:
+                # The power-law likelihood-ratio test is a statement about
+                # the *global* degree sequence, so it always runs on the
+                # full perturbed graph's degrees regardless of locality.
                 filtered = degree_preserving_candidates(
-                    perturbed.degrees(), target_node, candidates
+                    scene.global_degrees(perturbed),
+                    target_node,
+                    view.to_global_array(candidates),
                 )
                 if filtered.size:
-                    candidates = filtered
+                    candidates = view.to_local_array(filtered)
             if candidates.size == 0:
                 break
-            screened = self._screen(
-                perturbed, target_node, target_label, candidates
-            )
+            feature_logits = self._feature_logits(scene, view, weights)
+            screened = self._screen(view, target_label, candidates)
             best, best_score = None, -np.inf
             for candidate in screened:
                 score = self._exact_margin(
-                    perturbed, target_node, target_label, int(candidate),
-                    feature_logits,
+                    view, target_label, int(candidate), feature_logits
                 )
                 if score > best_score:
                     best, best_score = int(candidate), score
             if best is None:
                 break
-            edge = (target_node, best)
+            edge = (target_node, view.to_global(best))
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
         return self._finalize(graph, perturbed, added, target_node, target_label)
 
     # -- internals ------------------------------------------------------------
-    def _screen(self, graph, target_node, target_label, candidates):
+    def _feature_logits(self, scene, view, weights):
+        """``X W`` rows for the view (constant per feature slice)."""
+        features, logits = scene.memo(
+            ("feature-logits", id(view.graph.features)),
+            lambda: (view.graph.features, view.graph.features @ weights),
+        )
+        return logits
+
+    def _screen(self, view, target_label, candidates):
         """Keep the candidates with the strongest surrogate gradient signal."""
         if candidates.size <= self.screen_size:
             return candidates
-        forward = _SurrogateForward(self.surrogate, graph.features)
-        adjacency = Tensor(graph.dense_adjacency(), requires_grad=True)
-        loss = targeted_loss(forward, adjacency, target_node, target_label)
+        forward = _SurrogateForward(
+            self.surrogate,
+            view.graph.features,
+            degree_offset=view.raw_degree_offset,
+        )
+        adjacency = Tensor(view.graph.dense_adjacency(), requires_grad=True)
+        loss = targeted_loss(forward, adjacency, view.node, target_label)
         gradient = grad(loss, adjacency).data
-        scores = -(gradient + gradient.T)[target_node, candidates]
+        scores = -(gradient + gradient.T)[view.node, candidates]
         order = np.argsort(-scores)[: self.screen_size]
         return candidates[order]
 
-    def _exact_margin(
-        self, graph, target_node, target_label, candidate, feature_logits
-    ):
+    def _exact_margin(self, view, target_label, candidate, feature_logits):
         """Exact surrogate margin of the target label after adding the edge.
 
         Renormalizes the (sparse) modified adjacency and recomputes the
         victim's logits ``[Ã² X W]_i`` exactly.
         """
-        adjacency = graph.adjacency.tolil(copy=True)
-        adjacency[target_node, candidate] = 1
-        adjacency[candidate, target_node] = 1
-        normalized = normalize_adjacency(adjacency.tocsr())
+        adjacency = view.graph.adjacency.tolil(copy=True)
+        adjacency[view.node, candidate] = 1
+        adjacency[candidate, view.node] = 1
+        normalized = normalize_adjacency(
+            adjacency.tocsr(), degree_offset=view.raw_degree_offset
+        )
         propagated = normalized @ feature_logits
-        logits = normalized[target_node].toarray().ravel() @ propagated
+        logits = normalized[view.node].toarray().ravel() @ propagated
         margin = logits[int(target_label)] - np.max(
             np.delete(logits, int(target_label))
         )
@@ -204,12 +222,15 @@ class Nettack(Attack):
 class _SurrogateForward:
     """Adapter: surrogate logits from a raw dense adjacency tensor."""
 
-    def __init__(self, surrogate, features):
+    def __init__(self, surrogate, features, degree_offset=None):
         self.surrogate = surrogate
         self.features = Tensor(np.asarray(features, dtype=np.float64))
+        self.degree_offset = degree_offset
 
     def logits_from_raw(self, adjacency_tensor):
         from repro.graph.utils import normalize_adjacency_tensor
 
-        normalized = normalize_adjacency_tensor(adjacency_tensor)
+        normalized = normalize_adjacency_tensor(
+            adjacency_tensor, degree_offset=self.degree_offset
+        )
         return self.surrogate(normalized, self.features)

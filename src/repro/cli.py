@@ -49,6 +49,13 @@ def build_parser():
         choices=sorted(SCALE_PRESETS),
         help="experiment preset (graph size, victim count, seeds)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-victim attack/inspect loops "
+        "(results are identical for any value; speedup needs >1 CPUs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def with_dataset(name, help_text, default="cora"):
@@ -97,13 +104,14 @@ def _gnn_factory(case, config):
     )
 
 
-def _preliminary(case, config, factory, title):
+def _preliminary(case, config, factory, title, jobs=1):
     results = preliminary_inspection_study(
         case,
         factory,
         degrees=range(1, 11),
         per_degree=max(2, config.num_victims // 4),
         detection_k=config.detection_k,
+        jobs=jobs,
     )
     rows = [
         [r.degree, r.count, f"{r.asr:.2f}", f"{r.f1:.3f}", f"{r.ndcg:.3f}"]
@@ -121,9 +129,17 @@ def main(argv=None):
     config = SCALE_PRESETS[args.scale]
 
     if args.command == "table1":
-        print(format_comparison_table(run_comparison(args.dataset, config, "gnn")))
+        print(
+            format_comparison_table(
+                run_comparison(args.dataset, config, "gnn", jobs=args.jobs)
+            )
+        )
     elif args.command == "table2":
-        print(format_comparison_table(run_comparison("citeseer", config, "pg")))
+        print(
+            format_comparison_table(
+                run_comparison("citeseer", config, "pg", jobs=args.jobs)
+            )
+        )
     elif args.command == "table3":
         rows = []
         for name in ("citeseer", "cora", "acm"):
@@ -151,6 +167,7 @@ def main(argv=None):
             config,
             _gnn_factory(case, config),
             f"Figures 2/3 ({args.dataset.upper()}): Nettack vs GNNExplainer",
+            jobs=args.jobs,
         )
     elif args.command == "fig7":
         case = prepare_case(args.dataset, config)
@@ -162,10 +179,11 @@ def main(argv=None):
             config,
             lambda _graph: pg,
             f"Figure 7 ({args.dataset.upper()}): Nettack vs PGExplainer",
+            jobs=args.jobs,
         )
     elif args.command in ("fig4", "fig8"):
         case, victims = _case_and_victims(args.dataset, config)
-        points = lambda_sweep(case, victims)
+        points = lambda_sweep(case, victims, jobs=args.jobs)
         columns = (
             ("asr_t", "f1", "ndcg")
             if args.command == "fig4"
@@ -181,7 +199,7 @@ def main(argv=None):
         )
     elif args.command == "fig5":
         case, victims = _case_and_victims(args.dataset, config)
-        points = subgraph_size_sweep(case, victims)
+        points = subgraph_size_sweep(case, victims, jobs=args.jobs)
         print(
             format_series(
                 "L",
@@ -192,7 +210,7 @@ def main(argv=None):
         )
     elif args.command == "fig6":
         case, victims = _case_and_victims(args.dataset, config)
-        points = inner_steps_sweep(case, victims)
+        points = inner_steps_sweep(case, victims, jobs=args.jobs)
         print(
             format_series(
                 "T",
@@ -202,13 +220,13 @@ def main(argv=None):
             )
         )
     elif args.command == "feature-attack":
-        _feature_attack(args.dataset, config)
+        _feature_attack(args.dataset, config, jobs=args.jobs)
     elif args.command == "inspector-zoo":
-        _inspector_zoo(args.dataset, config)
+        _inspector_zoo(args.dataset, config, jobs=args.jobs)
     return 0
 
 
-def _feature_attack(dataset, config):
+def _feature_attack(dataset, config, jobs=1):
     """Extension: feature-flip attacks measured against the M_F inspector."""
     from repro.attacks import FeatureFGA, GEFAttack
     from repro.experiments import evaluate_feature_attack_method
@@ -226,7 +244,9 @@ def _feature_attack(dataset, config):
         FeatureFGA(case.model, seed=case.seed + 71),
         GEFAttack(case.model, seed=case.seed + 71),
     ):
-        evaluation = evaluate_feature_attack_method(case, attack, victims, factory)
+        evaluation = evaluate_feature_attack_method(
+            case, attack, victims, factory, jobs=jobs
+        )
         rows.append(
             [
                 attack.name,
@@ -245,7 +265,7 @@ def _feature_attack(dataset, config):
     )
 
 
-def _inspector_zoo(dataset, config):
+def _inspector_zoo(dataset, config, jobs=1):
     """Extension: the same attacks under different inspectors."""
     from repro.attacks import GEAttack, Nettack
     from repro.experiments import evaluate_attack_method
@@ -269,7 +289,9 @@ def _inspector_zoo(dataset, config):
         ),
     ):
         for name, factory in inspectors.items():
-            evaluation = evaluate_attack_method(case, attack, victims, factory)
+            evaluation = evaluate_attack_method(
+                case, attack, victims, factory, jobs=jobs
+            )
             rows.append(
                 [
                     attack.name,

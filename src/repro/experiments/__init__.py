@@ -24,6 +24,8 @@ from repro.experiments.reporting import (
     format_mean_std,
     format_series,
     format_table,
+    mean_of_finite,
+    summarize_reports,
 )
 from repro.experiments.sweeps import (
     PAPER_L_GRID,
@@ -60,6 +62,8 @@ __all__ = [
     "format_mean_std",
     "format_series",
     "format_table",
+    "mean_of_finite",
+    "summarize_reports",
     "PAPER_L_GRID",
     "PAPER_LAMBDA_GRID",
     "PAPER_T_GRID",

@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.attacks import FGA
+from repro.attacks import FGA, VictimSpec
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.datasets import load_dataset, random_split
+from repro.experiments.reporting import summarize_reports
 from repro.graph import normalize_adjacency
 from repro.metrics import (
     attack_success_rate,
@@ -30,6 +31,7 @@ from repro.metrics import (
     prediction_margin,
 )
 from repro.nn import GCN, train_node_classifier
+from repro.parallel import parallel_map
 
 __all__ = [
     "PreparedCase",
@@ -199,7 +201,8 @@ def derive_target_labels(case, victim_nodes):
 
 
 def evaluate_attack_method(
-    case, attack, victims, explainer_factory, detection_k=None
+    case, attack, victims, explainer_factory, detection_k=None, jobs=1,
+    locality=True,
 ):
     """Attack every victim, inspect with the explainer, aggregate metrics.
 
@@ -217,6 +220,13 @@ def evaluate_attack_method(
         graph-level step while GNNExplainer does not).
     detection_k:
         Top-K cut-off (defaults to the config's K = 15).
+    jobs:
+        Victims are independent; fan them out over this many worker
+        processes.  Per-victim RNG streams are seeded by the victim's node
+        id, so any ``jobs`` value produces the identical result table.
+    locality:
+        Run each attack on the victim's extracted computation subgraph
+        when the attack supports it (the batched fast path).
 
     Returns
     -------
@@ -224,15 +234,14 @@ def evaluate_attack_method(
     """
     config = case.config
     k = int(detection_k or config.detection_k)
-    results = []
-    reports = []
-    per_victim = []
-    for victim in victims:
+
+    def evaluate_one(victim):
         budget = min(victim.budget, config.budget_cap)
-        result = attack.attack(
-            case.graph, victim.node, victim.target_label, budget
+        result = attack.attack_one(
+            case.graph,
+            VictimSpec(victim.node, victim.target_label, budget),
+            locality=locality,
         )
-        results.append(result)
         if result.added_edges:
             explainer = explainer_factory(result.perturbed_graph)
             explanation = explainer.explain_node(
@@ -249,31 +258,31 @@ def evaluate_attack_method(
                 "f1": 0.0,
                 "ndcg": 0.0,
             }
-        reports.append(report)
-        per_victim.append(
-            {
-                "node": victim.node,
-                "degree": victim.degree,
-                "target_label": victim.target_label,
-                "hit_target": result.hit_target,
-                "misclassified": result.misclassified,
-                **report,
-            }
-        )
+        row = {
+            "node": victim.node,
+            "degree": victim.degree,
+            "target_label": victim.target_label,
+            "hit_target": result.hit_target,
+            "misclassified": result.misclassified,
+            **report,
+        }
+        # Inspection is done: drop the per-victim perturbed graph so a
+        # process-pool run doesn't pickle (and the parent retain) a full
+        # graph copy per victim — aggregation only reads the scalars.
+        result.perturbed_graph = None
+        return result, report, row
 
-    def mean_of(key):
-        values = [r[key] for r in reports if not np.isnan(r[key])]
-        return float(np.mean(values)) if values else float("nan")
+    outcomes = parallel_map(evaluate_one, victims, jobs=jobs)
+    results = [result for result, _, _ in outcomes]
+    reports = [report for _, report, _ in outcomes]
+    per_victim = [row for _, _, row in outcomes]
 
     return MethodEvaluation(
         method=attack.name,
         asr=attack_success_rate(results),
         asr_t=attack_success_rate_targeted(results),
-        precision=mean_of("precision"),
-        recall=mean_of("recall"),
-        f1=mean_of("f1"),
-        ndcg=mean_of("ndcg"),
         per_victim=per_victim,
+        **summarize_reports(reports),
     )
 
 
@@ -288,7 +297,8 @@ class _TruncatedExplanation:
 
 
 def evaluate_feature_attack_method(
-    case, attack, victims, explainer_factory, detection_k=None, flip_budget=None
+    case, attack, victims, explainer_factory, detection_k=None, flip_budget=None,
+    jobs=1, locality=True,
 ):
     """Feature-space mirror of :func:`evaluate_attack_method`.
 
@@ -301,21 +311,21 @@ def evaluate_feature_attack_method(
     ``flip_budget`` decouples the word-flip budget from the edge protocol's
     Δ = degree: one planted word moves a prediction far less than one edge,
     so feature attacks get a fixed budget (default: the config's
-    ``budget_cap``) rather than the victim's degree.
+    ``budget_cap``) rather than the victim's degree.  ``jobs`` and
+    ``locality`` behave as in :func:`evaluate_attack_method`.
     """
     from repro.metrics import feature_detection_report
 
     config = case.config
     k = int(detection_k or config.detection_k)
     budget = int(config.budget_cap if flip_budget is None else flip_budget)
-    results = []
-    reports = []
-    per_victim = []
-    for victim in victims:
-        result = attack.attack(
-            case.graph, victim.node, victim.target_label, budget
+
+    def evaluate_one(victim):
+        result = attack.attack_one(
+            case.graph,
+            VictimSpec(victim.node, victim.target_label, budget),
+            locality=locality,
         )
-        results.append(result)
         if result.flipped_features:
             explainer = explainer_factory(result.perturbed_graph)
             explanation = explainer.explain_node(
@@ -326,29 +336,27 @@ def evaluate_feature_attack_method(
             )
         else:
             report = {"precision": 0.0, "recall": 0.0, "f1": 0.0, "ndcg": 0.0}
-        reports.append(report)
-        per_victim.append(
-            {
-                "node": victim.node,
-                "degree": victim.degree,
-                "target_label": victim.target_label,
-                "hit_target": result.hit_target,
-                "misclassified": result.misclassified,
-                **report,
-            }
-        )
+        row = {
+            "node": victim.node,
+            "degree": victim.degree,
+            "target_label": victim.target_label,
+            "hit_target": result.hit_target,
+            "misclassified": result.misclassified,
+            **report,
+        }
+        # See evaluate_attack_method: keep pool transfers graph-free.
+        result.perturbed_graph = None
+        return result, report, row
 
-    def mean_of(key):
-        values = [r[key] for r in reports if not np.isnan(r[key])]
-        return float(np.mean(values)) if values else float("nan")
+    outcomes = parallel_map(evaluate_one, victims, jobs=jobs)
+    results = [result for result, _, _ in outcomes]
+    reports = [report for _, report, _ in outcomes]
+    per_victim = [row for _, _, row in outcomes]
 
     return MethodEvaluation(
         method=attack.name,
         asr=attack_success_rate(results),
         asr_t=attack_success_rate_targeted(results),
-        precision=mean_of("precision"),
-        recall=mean_of("recall"),
-        f1=mean_of("f1"),
-        ndcg=mean_of("ndcg"),
         per_victim=per_victim,
+        **summarize_reports(reports),
     )

@@ -12,8 +12,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.attacks import Nettack
+from repro.attacks import Nettack, VictimSpec
+from repro.experiments.reporting import summarize_reports
 from repro.metrics import detection_report
+from repro.parallel import parallel_map
 
 __all__ = ["DegreeBinResult", "preliminary_inspection_study"]
 
@@ -45,6 +47,7 @@ def preliminary_inspection_study(
     per_degree=4,
     detection_k=15,
     rng=None,
+    jobs=1,
 ):
     """Run the Figure 2/3 (or 7) study on a prepared case.
 
@@ -58,6 +61,9 @@ def preliminary_inspection_study(
         Victim degree bins (paper: 1..10).
     per_degree:
         Victims sampled per bin (paper: 40; scaled down by default).
+    jobs:
+        Worker processes for the per-victim attack→inspect loop
+        (deterministic for any value: victims are seeded by node id).
 
     Returns
     -------
@@ -70,42 +76,43 @@ def preliminary_inspection_study(
     correct = case.predictions == graph.labels
     attack = Nettack(case.model, seed=case.seed + 12)
 
+    def run_one(spec):
+        outcome = attack.attack_one(graph, spec)
+        if not outcome.added_edges:
+            return outcome.misclassified, None
+        explainer = explainer_factory(outcome.perturbed_graph)
+        explanation = explainer.explain_node(outcome.perturbed_graph, spec.node)
+        return outcome.misclassified, detection_report(
+            explanation, outcome.added_edges, k=detection_k
+        )
+
     results = []
     for degree in degrees:
         pool = np.flatnonzero((node_degrees == degree) & correct)
         if pool.size == 0:
             continue
         victims = rng.choice(pool, size=min(per_degree, pool.size), replace=False)
-        flips, reports = [], []
-        for node in victims:
-            node = int(node)
-            target_label = _strongest_wrong_class(
-                case.probabilities[node], graph.labels[node]
+        budget = min(max(1, degree), config.budget_cap)
+        specs = [
+            VictimSpec(
+                int(node),
+                _strongest_wrong_class(
+                    case.probabilities[int(node)], graph.labels[int(node)]
+                ),
+                budget,
             )
-            budget = min(max(1, degree), config.budget_cap)
-            outcome = attack.attack(graph, node, target_label, budget)
-            flips.append(outcome.misclassified)
-            if not outcome.added_edges:
-                continue
-            explainer = explainer_factory(outcome.perturbed_graph)
-            explanation = explainer.explain_node(outcome.perturbed_graph, node)
-            reports.append(
-                detection_report(explanation, outcome.added_edges, k=detection_k)
-            )
-
-        def mean_of(key):
-            values = [r[key] for r in reports if not np.isnan(r[key])]
-            return float(np.mean(values)) if values else float("nan")
+            for node in victims
+        ]
+        outcomes = parallel_map(run_one, specs, jobs=jobs)
+        flips = [flipped for flipped, _ in outcomes]
+        reports = [report for _, report in outcomes if report is not None]
 
         results.append(
             DegreeBinResult(
                 degree=int(degree),
                 count=int(victims.size),
                 asr=float(np.mean(flips)) if flips else float("nan"),
-                precision=mean_of("precision"),
-                recall=mean_of("recall"),
-                f1=mean_of("f1"),
-                ndcg=mean_of("ndcg"),
+                **summarize_reports(reports),
             )
         )
     return results

@@ -1,10 +1,12 @@
-"""Plain-text reporting: paper-style tables and figure series."""
+"""Plain-text reporting: paper-style tables, figure series, summaries."""
 
 from __future__ import annotations
 
 import numpy as np
 
 __all__ = [
+    "mean_of_finite",
+    "summarize_reports",
     "format_mean_std",
     "format_table",
     "format_comparison_table",
@@ -12,6 +14,26 @@ __all__ = [
     "ascii_chart",
     "render_sweep_charts",
 ]
+
+#: Detection metrics aggregated across per-victim inspection reports.
+DETECTION_KEYS = ("precision", "recall", "f1", "ndcg")
+
+
+def mean_of_finite(reports, key):
+    """NaN-aware mean of ``reports[i][key]`` (NaN when nothing is finite).
+
+    The single aggregation rule of the whole pipeline: victims whose
+    inspection produced a NaN metric (e.g. no ranked edges at the cut-off)
+    are excluded from that metric's average, matching the paper's
+    convention of reporting "-" for undefined cells.
+    """
+    values = [report[key] for report in reports if not np.isnan(report[key])]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def summarize_reports(reports, keys=DETECTION_KEYS):
+    """``{key: mean_of_finite(reports, key)}`` over the detection metrics."""
+    return {key: mean_of_finite(reports, key) for key in keys}
 
 
 def format_mean_std(mean, std, percent=True):

@@ -8,14 +8,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.attacks import GEAttack
+from repro.attacks import GEAttack, VictimSpec
+from repro.experiments.reporting import summarize_reports
 from repro.explain import GNNExplainer
 from repro.metrics import (
     attack_success_rate_targeted,
     detection_report,
 )
+from repro.parallel import parallel_map
 
 __all__ = [
     "SweepPoint",
@@ -46,41 +46,46 @@ class SweepPoint:
     extras: dict = field(default_factory=dict)
 
 
-def _attack_and_inspect(case, victims, attack, explainer_factory, k, size):
-    """Shared attack→inspect loop; returns (results, reports)."""
+def _attack_and_inspect(case, victims, attack, explainer_factory, k, size, jobs=1):
+    """Shared attack→inspect loop; returns (results, reports).
+
+    Per-victim work is independent and seeded by the victim node, so it is
+    fanned out over ``jobs`` worker processes with deterministic results.
+    """
     config = case.config
-    results, reports = [], []
-    for victim in victims:
+
+    def run_one(victim):
         budget = min(victim.budget, config.budget_cap)
-        result = attack.attack(case.graph, victim.node, victim.target_label, budget)
-        results.append(result)
+        result = attack.attack_one(
+            case.graph, VictimSpec(victim.node, victim.target_label, budget)
+        )
         if not result.added_edges:
-            continue
+            result.perturbed_graph = None
+            return result, None
         explainer = explainer_factory(result.perturbed_graph)
         explanation = explainer.explain_node(result.perturbed_graph, victim.node)
         ranked = explanation.ranking()[: int(size)]
-        reports.append(
-            detection_report(_Ranked(ranked), result.added_edges, k=k)
-        )
+        # Keep pool transfers graph-free: aggregation reads scalars only.
+        result.perturbed_graph = None
+        return result, detection_report(_Ranked(ranked), result.added_edges, k=k)
+
+    outcomes = parallel_map(run_one, victims, jobs=jobs)
+    results = [result for result, _ in outcomes]
+    reports = [report for _, report in outcomes if report is not None]
     return results, reports
 
 
 def _summaries(value, results, reports):
-    def mean_of(key):
-        values = [r[key] for r in reports if not np.isnan(r[key])]
-        return float(np.mean(values)) if values else float("nan")
-
     return SweepPoint(
         value=float(value),
         asr_t=attack_success_rate_targeted(results),
-        precision=mean_of("precision"),
-        recall=mean_of("recall"),
-        f1=mean_of("f1"),
-        ndcg=mean_of("ndcg"),
+        **summarize_reports(reports),
     )
 
 
-def lambda_sweep(case, victims, lambdas=PAPER_LAMBDA_GRID, explainer_factory=None):
+def lambda_sweep(
+    case, victims, lambdas=PAPER_LAMBDA_GRID, explainer_factory=None, jobs=1
+):
     """Figure 4 / 8: trade-off between ASR-T and detectability over λ.
 
     The grid is interpreted on this implementation's λ scale; see
@@ -105,12 +110,15 @@ def lambda_sweep(case, victims, lambdas=PAPER_LAMBDA_GRID, explainer_factory=Non
             explainer_factory,
             config.detection_k,
             config.explanation_size,
+            jobs=jobs,
         )
         points.append(_summaries(lam, results, reports))
     return points
 
 
-def inner_steps_sweep(case, victims, steps=PAPER_T_GRID, explainer_factory=None):
+def inner_steps_sweep(
+    case, victims, steps=PAPER_T_GRID, explainer_factory=None, jobs=1
+):
     """Figure 6: GEAttack detectability as a function of inner steps T."""
     config = case.config
     explainer_factory = explainer_factory or _default_factory(case)
@@ -130,12 +138,15 @@ def inner_steps_sweep(case, victims, steps=PAPER_T_GRID, explainer_factory=None)
             explainer_factory,
             config.detection_k,
             config.explanation_size,
+            jobs=jobs,
         )
         points.append(_summaries(t, results, reports))
     return points
 
 
-def subgraph_size_sweep(case, victims, sizes=PAPER_L_GRID, explainer_factory=None):
+def subgraph_size_sweep(
+    case, victims, sizes=PAPER_L_GRID, explainer_factory=None, jobs=1
+):
     """Figure 5: detection vs the explanation subgraph size L.
 
     GEAttack runs *once* per victim at the operating point; the inspector's
@@ -152,17 +163,24 @@ def subgraph_size_sweep(case, victims, sizes=PAPER_L_GRID, explainer_factory=Non
         inner_steps=config.geattack_inner_steps,
         inner_lr=config.geattack_inner_lr,
     )
-    cached = []
-    results = []
-    for victim in victims:
+
+    def run_one(victim):
         budget = min(victim.budget, config.budget_cap)
-        result = attack.attack(case.graph, victim.node, victim.target_label, budget)
-        results.append(result)
+        result = attack.attack_one(
+            case.graph, VictimSpec(victim.node, victim.target_label, budget)
+        )
         if not result.added_edges:
-            continue
+            result.perturbed_graph = None
+            return result, None
         explainer = explainer_factory(result.perturbed_graph)
         explanation = explainer.explain_node(result.perturbed_graph, victim.node)
-        cached.append((explanation.ranking(), result.added_edges))
+        # Keep pool transfers graph-free: aggregation reads scalars only.
+        result.perturbed_graph = None
+        return result, (explanation.ranking(), result.added_edges)
+
+    outcomes = parallel_map(run_one, victims, jobs=jobs)
+    results = [result for result, _ in outcomes]
+    cached = [payload for _, payload in outcomes if payload is not None]
 
     points = []
     for size in sizes:

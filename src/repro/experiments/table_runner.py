@@ -115,7 +115,7 @@ def paper_attacks(case, pg_explainer=None):
     ]
 
 
-def run_comparison(dataset, config, explainer="gnn", methods=None):
+def run_comparison(dataset, config, explainer="gnn", methods=None, jobs=1):
     """Full Table 1 / Table 2 comparison on one dataset.
 
     Parameters
@@ -128,6 +128,9 @@ def run_comparison(dataset, config, explainer="gnn", methods=None):
         ``"gnn"`` (Table 1) or ``"pg"`` (Table 2).
     methods:
         Optional subset of :data:`METHOD_ORDER` to run.
+    jobs:
+        Worker processes for the per-victim attack→inspect loop; any value
+        yields the identical table (per-victim seeding).
 
     Returns
     -------
@@ -154,7 +157,9 @@ def run_comparison(dataset, config, explainer="gnn", methods=None):
         for attack in paper_attacks(case, pg_explainer=pg):
             if attack.name not in wanted:
                 continue
-            evaluation = evaluate_attack_method(case, attack, victims, factory)
+            evaluation = evaluate_attack_method(
+                case, attack, victims, factory, jobs=jobs
+            )
             if attack.name == "FGA":
                 evaluation.asr_t = float("nan")  # paper reports "-"
             evaluations[attack.name] = evaluation

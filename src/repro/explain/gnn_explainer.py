@@ -46,6 +46,7 @@ def explainer_loss(
     size_coefficient=0.0,
     entropy_coefficient=0.0,
     feature_mask=None,
+    degree_offset=None,
 ):
     """Paper Eq. (2)/(3): cross-entropy of the masked prediction.
 
@@ -54,7 +55,9 @@ def explainer_loss(
     Optional size/entropy regularizers follow the reference GNNExplainer
     implementation (the paper's preliminary study uses the plain objective).
     When ``feature_mask`` is given (a length-d tensor of logits), features
-    are gated by ``X ⊙ σ(M_F)`` as in the full Eq. (2).
+    are gated by ``X ⊙ σ(M_F)`` as in the full Eq. (2).  ``degree_offset``
+    is the constant masked-degree correction of a subgraph-locality view
+    (see :mod:`repro.attacks.locality`).
 
     This function is shared verbatim by :class:`GNNExplainer` and by
     GEAttack's inner loop, which guarantees the attack is simulating exactly
@@ -62,7 +65,7 @@ def explainer_loss(
     """
     probability = symmetric_mask_probability(mask)
     masked = adjacency * probability
-    normalized = normalize_adjacency_tensor(masked)
+    normalized = normalize_adjacency_tensor(masked, degree_offset=degree_offset)
     if feature_mask is not None:
         if features is None:
             raise ValueError("feature_mask requires explicit features")

@@ -2,22 +2,38 @@
 
 from repro.graph.graph import Graph
 from repro.graph.utils import (
+    cached_degrees,
+    cached_k_hop_nodes,
+    cached_normalized_adjacency,
+    cached_reach,
     edge_tuple,
     edges_to_mask_index,
+    graph_cache_stats,
+    graph_cached,
     k_hop_nodes,
+    k_hop_reach,
     k_hop_subgraph,
     normalize_adjacency,
     normalize_adjacency_tensor,
+    reset_graph_cache,
     row_normalize_adjacency,
 )
 
 __all__ = [
     "Graph",
+    "cached_degrees",
+    "cached_k_hop_nodes",
+    "cached_normalized_adjacency",
+    "cached_reach",
     "edge_tuple",
     "edges_to_mask_index",
+    "graph_cache_stats",
+    "graph_cached",
     "k_hop_nodes",
+    "k_hop_reach",
     "k_hop_subgraph",
     "normalize_adjacency",
     "normalize_adjacency_tensor",
+    "reset_graph_cache",
     "row_normalize_adjacency",
 ]

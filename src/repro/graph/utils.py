@@ -7,9 +7,26 @@ Two adjacency-normalization implementations exist on purpose:
 * :func:`normalize_adjacency_tensor` — differentiable tensor version used
   on the *perturbed* adjacency inside attacks, where gradients with respect
   to individual adjacency entries (through the degree terms too) are needed.
+
+Both accept a ``degree_offset`` vector: a constant per-node correction added
+to the computed degrees.  The batched attack engine runs on induced
+subgraphs whose boundary nodes are missing some incident edges; the offset
+restores their true (full-graph) degree so the normalized operator — and
+every gradient flowing through the degree terms — is exactly the full-graph
+one restricted to the subgraph.
+
+This module also hosts the graph-level memoization layer.  ``Graph``
+objects are immutable by convention (perturbation goes through
+``with_edges_added`` / ``with_edges_removed``, which return *new* graphs),
+so any quantity derived from a graph can be cached against the object
+itself: a perturbed graph is a different key, which makes invalidation
+automatic — stale entries are impossible by construction, and entries die
+with their graph (weak references).
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 import scipy.sparse as sp
@@ -22,18 +39,32 @@ __all__ = [
     "normalize_adjacency_tensor",
     "row_normalize_adjacency",
     "k_hop_nodes",
+    "k_hop_reach",
     "k_hop_subgraph",
     "edge_tuple",
     "edges_to_mask_index",
+    "graph_cached",
+    "cached_normalized_adjacency",
+    "cached_degrees",
+    "cached_k_hop_nodes",
+    "cached_reach",
+    "graph_cache_stats",
+    "reset_graph_cache",
 ]
 
 
-def normalize_adjacency(adjacency, self_loops=True):
-    """Symmetric GCN normalization ``D̃^{-1/2}(A+I)D̃^{-1/2}`` (sparse)."""
+def normalize_adjacency(adjacency, self_loops=True, degree_offset=None):
+    """Symmetric GCN normalization ``D̃^{-1/2}(A+I)D̃^{-1/2}`` (sparse).
+
+    ``degree_offset`` adds a constant per-node term to the degrees before
+    inversion (see the module docstring: subgraph boundary correction).
+    """
     adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
     if self_loops:
         adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
     degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    if degree_offset is not None:
+        degrees = degrees + np.asarray(degree_offset, dtype=np.float64)
     with np.errstate(divide="ignore"):
         inv_sqrt = 1.0 / np.sqrt(degrees)
     inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
@@ -41,17 +72,21 @@ def normalize_adjacency(adjacency, self_loops=True):
     return (scaling @ adjacency @ scaling).tocsr()
 
 
-def normalize_adjacency_tensor(adjacency, self_loops=True):
+def normalize_adjacency_tensor(adjacency, self_loops=True, degree_offset=None):
     """Differentiable symmetric normalization of a dense adjacency tensor.
 
     Gradient flows through both the edge entries and the degree terms,
     matching what a PyTorch implementation of the attacks differentiates.
+    ``degree_offset`` is a constant (gradient-free) per-node degree
+    correction for subgraph execution.
     """
     adjacency = astensor(adjacency)
     n = adjacency.shape[0]
     if self_loops:
         adjacency = adjacency + Tensor(np.eye(n))
     degrees = ops.tensor_sum(adjacency, axis=1)
+    if degree_offset is not None:
+        degrees = degrees + Tensor(np.asarray(degree_offset, dtype=np.float64))
     inv_sqrt = ops.power(degrees, -0.5)
     row = ops.reshape(inv_sqrt, (n, 1))
     col = ops.reshape(inv_sqrt, (1, n))
@@ -88,6 +123,30 @@ def k_hop_nodes(adjacency, node, hops):
     return np.array(sorted(visited), dtype=np.int64)
 
 
+def k_hop_reach(adjacency, seeds, hops):
+    """Boolean mask of nodes within ``hops`` of any seed (inclusive).
+
+    Multi-source BFS via sparse matrix-vector products — used by the
+    batched attack engine to collect candidate-endpoint frontiers without
+    per-seed Python loops.
+    """
+    adjacency = sp.csr_matrix(adjacency)
+    n = adjacency.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    seeds = np.asarray(list(seeds), dtype=np.int64)
+    if seeds.size == 0:
+        return mask
+    mask[seeds] = True
+    frontier = mask.copy()
+    for _ in range(int(hops)):
+        reached = np.asarray(adjacency @ frontier.astype(np.float64)) > 0
+        frontier = reached & ~mask
+        if not frontier.any():
+            break
+        mask |= frontier
+    return mask
+
+
 def k_hop_subgraph(graph, node, hops, extra_nodes=()):
     """Extract the ``hops``-hop computation subgraph around ``node``.
 
@@ -112,7 +171,7 @@ def k_hop_subgraph(graph, node, hops, extra_nodes=()):
         ``subgraph`` is an induced :class:`Graph`, ``nodes`` maps local ids
         to global ids, and ``local_index`` is the center node's local id.
     """
-    nodes = set(k_hop_nodes(graph.adjacency, node, hops).tolist())
+    nodes = set(cached_k_hop_nodes(graph, node, hops).tolist())
     nodes.update(int(v) for v in extra_nodes)
     nodes = np.array(sorted(nodes), dtype=np.int64)
     local_index = int(np.searchsorted(nodes, node))
@@ -132,3 +191,81 @@ def edges_to_mask_index(edges, node_to_local):
         if u in node_to_local and v in node_to_local:
             local_edges.append((node_to_local[u], node_to_local[v]))
     return local_edges
+
+
+# ---------------------------------------------------------------------------
+# Graph-keyed memoization
+# ---------------------------------------------------------------------------
+
+_GRAPH_CACHE = weakref.WeakKeyDictionary()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def graph_cached(graph, key, builder):
+    """Memoize ``builder()`` against the (immutable) ``graph`` under ``key``.
+
+    The cache is keyed on graph *identity*: ``with_edges_added`` /
+    ``with_edges_removed`` return new objects, so a perturbed graph never
+    sees the clean graph's entries — invalidation is automatic.  Entries are
+    weakly referenced and disappear with the graph.
+    """
+    store = _GRAPH_CACHE.get(graph)
+    if store is None:
+        store = {}
+        _GRAPH_CACHE[graph] = store
+    if key in store:
+        _CACHE_STATS["hits"] += 1
+        return store[key]
+    _CACHE_STATS["misses"] += 1
+    value = builder()
+    store[key] = value
+    return value
+
+
+def cached_normalized_adjacency(graph, self_loops=True):
+    """Memoized :func:`normalize_adjacency` of ``graph.adjacency``."""
+    return graph_cached(
+        graph,
+        ("normalized-adjacency", bool(self_loops)),
+        lambda: normalize_adjacency(graph.adjacency, self_loops=self_loops),
+    )
+
+
+def cached_degrees(graph):
+    """Memoized integer degree vector of ``graph``."""
+    return graph_cached(graph, ("degrees",), graph.degrees)
+
+
+def cached_k_hop_nodes(graph, node, hops):
+    """Memoized :func:`k_hop_nodes` on ``graph`` around ``node``."""
+    return graph_cached(
+        graph,
+        ("k-hop", int(node), int(hops)),
+        lambda: k_hop_nodes(graph.adjacency, node, hops),
+    )
+
+
+def cached_reach(graph, seeds_key, seeds, hops):
+    """Memoized :func:`k_hop_reach` frontier keyed by ``seeds_key``.
+
+    ``seeds_key`` must uniquely describe ``seeds`` (e.g. ``("label", 3)``
+    for all nodes of class 3); the batched engine shares one frontier
+    across every victim with the same target label.
+    """
+    return graph_cached(
+        graph,
+        ("reach", seeds_key, int(hops)),
+        lambda: k_hop_reach(graph.adjacency, seeds, hops),
+    )
+
+
+def graph_cache_stats():
+    """Copy of the global hit/miss counters (for tests and diagnostics)."""
+    return dict(_CACHE_STATS)
+
+
+def reset_graph_cache():
+    """Drop every cached entry and zero the hit/miss counters."""
+    _GRAPH_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0

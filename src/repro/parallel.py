@@ -1,0 +1,73 @@
+"""Order-preserving process-pool map for embarrassingly parallel work.
+
+The experiment pipeline's per-victim unit of work (attack → explain →
+score) is deterministic given the victim: every attack seeds its RNG with
+``base_seed + victim_node``, so results are independent of execution order
+and of how victims are sharded across workers.  :func:`parallel_map`
+exploits that: it fans items out over a fork-based process pool and merges
+results back in input order, which makes ``jobs=1`` and ``jobs=N`` produce
+byte-identical result tables.
+
+Fork (not spawn) is required: work functions are closures over trained
+models and prepared cases, which are not picklable.  Children inherit them
+through the forked address space; only the shard index lists and the
+per-item results cross the process boundary.  On platforms without fork
+the map silently degrades to serial execution — same results, no speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+__all__ = ["parallel_map", "fork_available"]
+
+#: Parent-side state inherited by forked workers.  Non-empty only while a
+#: pool is running; a populated dict inside a worker therefore also serves
+#: as the "already inside a pool" marker that keeps nested parallel_map
+#: calls serial (no fork bombs).
+_WORKER_STATE = {}
+
+
+def fork_available():
+    """Whether fork-based pools are usable on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_shard(indices):
+    fn = _WORKER_STATE["fn"]
+    items = _WORKER_STATE["items"]
+    return [(index, fn(items[index])) for index in indices]
+
+
+def parallel_map(fn, items, jobs=1):
+    """``[fn(x) for x in items]`` with optional process-pool fan-out.
+
+    Results always come back in input order.  ``fn`` must be deterministic
+    per item (derive any randomness from the item itself, e.g. a per-victim
+    seed) for ``jobs`` to have no effect on the output.  Worker exceptions
+    propagate to the caller.
+    """
+    items = list(items)
+    jobs = max(1, int(jobs))
+    if (
+        jobs == 1
+        or len(items) <= 1
+        or _WORKER_STATE  # nested call from inside a worker: stay serial
+        or not fork_available()
+    ):
+        return [fn(item) for item in items]
+
+    jobs = min(jobs, len(items))
+    shards = [list(range(start, len(items), jobs)) for start in range(jobs)]
+    context = multiprocessing.get_context("fork")
+    _WORKER_STATE.update(fn=fn, items=items)
+    try:
+        with context.Pool(processes=jobs) as pool:
+            shard_results = pool.map(_run_shard, shards)
+    finally:
+        _WORKER_STATE.clear()
+    merged = [None] * len(items)
+    for shard in shard_results:
+        for index, value in shard:
+            merged[index] = value
+    return merged

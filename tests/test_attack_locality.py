@@ -1,0 +1,173 @@
+"""Locality property: subgraph execution equals full-graph execution.
+
+For every attack that supports the batched engine, running on the victim's
+extracted k-hop computation subgraph (with degree-deficit corrections) must
+return the *same* perturbed edge set — and the same final prediction — as
+the classic single-victim full-graph ``attack``.  Seeded small synthetic
+graphs make the comparison exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    DICE,
+    FGA,
+    FGATargeted,
+    FeatureFGA,
+    GEAttack,
+    GEFAttack,
+    Nettack,
+    VictimSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def victims(tiny_graph, trained_model, clean_predictions):
+    """Up to three FGA-flippable victims with their derived target labels."""
+    degrees = tiny_graph.degrees()
+    attack = FGA(trained_model, seed=11)
+    found = []
+    eligible = np.flatnonzero(
+        (clean_predictions == tiny_graph.labels) & (degrees >= 2) & (degrees <= 6)
+    )
+    for node in eligible:
+        node = int(node)
+        result = attack.attack(tiny_graph, node, None, int(degrees[node]))
+        if result.misclassified:
+            found.append(
+                VictimSpec(node, int(result.final_prediction), min(3, int(degrees[node])))
+            )
+        if len(found) >= 3:
+            break
+    if not found:
+        pytest.skip("no flippable victim on the tiny graph")
+    return found
+
+
+def edge_attacks(model):
+    return [
+        GEAttack(model, seed=0),
+        GEAttack(model, seed=0, normalize_penalty=False, lam=20.0),
+        GEAttack(model, seed=0, greedy=False),
+        FGATargeted(model, seed=0),
+        Nettack(model, seed=0),
+        DICE(model, seed=0),
+    ]
+
+
+def feature_attacks(model):
+    return [
+        FeatureFGA(model, seed=0),
+        GEFAttack(model, seed=0, inner_steps=2),
+    ]
+
+
+def forced_scene(attack, graph, spec):
+    """Locality scene even on the tiny graph (no size cut-off)."""
+    return attack.build_locality_scene(
+        graph, spec.node, spec.target_label, max_subgraph_fraction=1.01
+    )
+
+
+class TestEdgeAttackParity:
+    def test_subgraph_matches_full_graph(self, tiny_graph, trained_model, victims):
+        for attack in edge_attacks(trained_model):
+            for spec in victims:
+                full = attack.attack(
+                    tiny_graph, spec.node, spec.target_label, spec.budget
+                )
+                scene = forced_scene(attack, tiny_graph, spec)
+                assert scene is not None, attack.name
+                local = attack.attack(
+                    tiny_graph,
+                    spec.node,
+                    spec.target_label,
+                    spec.budget,
+                    locality=scene,
+                )
+                assert local.added_edges == full.added_edges, attack.name
+                assert local.final_prediction == full.final_prediction
+                assert local.original_prediction == full.original_prediction
+                assert (
+                    local.perturbed_graph.edge_set()
+                    == full.perturbed_graph.edge_set()
+                )
+
+    def test_scene_view_is_a_proper_subgraph(
+        self, tiny_graph, trained_model, victims
+    ):
+        attack = GEAttack(trained_model, seed=0)
+        spec = victims[0]
+        scene = forced_scene(attack, tiny_graph, spec)
+        view = scene.view(tiny_graph)
+        assert view.graph.num_nodes == view.nodes.size <= tiny_graph.num_nodes
+        # Local ids map to ascending global ids, with the victim present.
+        assert np.all(np.diff(view.nodes) > 0)
+        assert view.nodes[view.node] == spec.node
+        # The induced subgraph carries the global labels and features.
+        assert np.array_equal(view.graph.labels, tiny_graph.labels[view.nodes])
+
+    def test_untargeted_fga_declines_locality(self, tiny_graph, trained_model):
+        attack = FGA(trained_model, seed=0)
+        assert attack.build_locality_scene(tiny_graph, 0, None) is None
+
+    def test_attack_many_matches_serial_loop(
+        self, tiny_graph, trained_model, victims
+    ):
+        attack = GEAttack(trained_model, seed=0)
+        serial = [
+            attack.attack(tiny_graph, spec.node, spec.target_label, spec.budget)
+            for spec in victims
+        ]
+        batched = attack.attack_many(tiny_graph, victims)
+        assert len(batched) == len(serial)
+        for one, many in zip(serial, batched):
+            assert many.added_edges == one.added_edges
+            assert many.target_node == one.target_node
+            assert many.final_prediction == one.final_prediction
+
+    def test_attack_many_accepts_tuples(self, tiny_graph, trained_model, victims):
+        attack = FGATargeted(trained_model, seed=0)
+        spec = victims[0]
+        as_tuple = attack.attack_many(
+            tiny_graph, [(spec.node, spec.target_label, spec.budget)]
+        )
+        as_spec = attack.attack_many(tiny_graph, [spec])
+        assert as_tuple[0].added_edges == as_spec[0].added_edges
+
+
+class TestFeatureAttackParity:
+    def test_subgraph_matches_full_graph(self, tiny_graph, trained_model, victims):
+        for attack in feature_attacks(trained_model):
+            for spec in victims:
+                full = attack.attack(
+                    tiny_graph, spec.node, spec.target_label, spec.budget
+                )
+                scene = forced_scene(attack, tiny_graph, spec)
+                assert scene is not None, attack.name
+                local = attack.attack(
+                    tiny_graph,
+                    spec.node,
+                    spec.target_label,
+                    spec.budget,
+                    locality=scene,
+                )
+                assert local.flipped_features == full.flipped_features, attack.name
+                assert local.final_prediction == full.final_prediction
+
+    def test_feature_scene_is_victim_neighborhood_only(
+        self, tiny_graph, trained_model, victims
+    ):
+        from repro.graph import k_hop_reach
+
+        attack = FeatureFGA(trained_model, seed=0)
+        spec = victims[0]
+        scene = forced_scene(attack, tiny_graph, spec)
+        view = scene.view(tiny_graph)
+        expected = np.flatnonzero(
+            k_hop_reach(tiny_graph.adjacency, [spec.node], attack.locality_hops + 1)
+        )
+        assert np.array_equal(view.nodes, expected)

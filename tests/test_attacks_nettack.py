@@ -100,20 +100,21 @@ class TestNettackAttack:
         self, tiny_graph, trained_model, flippable_victim
     ):
         """The greedy pick must raise the surrogate target margin."""
+        from repro.attacks import IdentityScene
+
         node, target_label, budget = flippable_victim
         attack = Nettack(trained_model, seed=0)
+        view = IdentityScene(tiny_graph, node).view(tiny_graph)
         feature_logits = tiny_graph.features @ attack.surrogate.weight.data
         candidates = attack._candidates(tiny_graph, node, target_label)
         margins = [
-            attack._exact_margin(
-                tiny_graph, node, target_label, int(c), feature_logits
-            )
+            attack._exact_margin(view, target_label, int(c), feature_logits)
             for c in candidates[:10]
         ]
         result = attack.attack(tiny_graph, node, target_label, 1)
         picked = result.added_edges[0]
         other = picked[1] if picked[0] == node else picked[0]
         picked_margin = attack._exact_margin(
-            tiny_graph, node, target_label, other, feature_logits
+            view, target_label, other, feature_logits
         )
         assert picked_margin >= np.median(margins)

@@ -1,0 +1,123 @@
+"""The graph/utils memoization layer: hits, sharing, and invalidation.
+
+The cache contract: ``Graph`` objects are immutable, so derived quantities
+(normalized adjacency, degrees, k-hop frontiers, predictions) are memoized
+against the graph object itself.  Perturbation returns a *new* graph, which
+is a new cache key — a post-attack evaluation can never see the clean
+graph's stale operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    cached_degrees,
+    cached_k_hop_nodes,
+    cached_normalized_adjacency,
+    cached_reach,
+    graph_cache_stats,
+    k_hop_nodes,
+    k_hop_reach,
+    normalize_adjacency,
+    reset_graph_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_graph_cache()
+    yield
+    reset_graph_cache()
+
+
+def hits_and_misses():
+    stats = graph_cache_stats()
+    return stats["hits"], stats["misses"]
+
+
+class TestCacheHits:
+    def test_normalized_adjacency_hits_on_repeat(self, tiny_graph):
+        first = cached_normalized_adjacency(tiny_graph)
+        hits0, misses0 = hits_and_misses()
+        second = cached_normalized_adjacency(tiny_graph)
+        hits1, misses1 = hits_and_misses()
+        assert second is first  # the very same object, not a recompute
+        assert hits1 == hits0 + 1 and misses1 == misses0
+        dense_expected = normalize_adjacency(tiny_graph.adjacency).toarray()
+        assert np.allclose(first.toarray(), dense_expected)
+
+    def test_degrees_hit_on_repeat(self, tiny_graph):
+        first = cached_degrees(tiny_graph)
+        second = cached_degrees(tiny_graph)
+        assert second is first
+        assert np.array_equal(first, tiny_graph.degrees())
+
+    def test_k_hop_nodes_keyed_per_node_and_depth(self, tiny_graph):
+        a = cached_k_hop_nodes(tiny_graph, 0, 2)
+        b = cached_k_hop_nodes(tiny_graph, 0, 2)
+        c = cached_k_hop_nodes(tiny_graph, 0, 1)
+        assert b is a
+        assert not np.array_equal(a, c) or a.size == c.size
+        assert np.array_equal(a, k_hop_nodes(tiny_graph.adjacency, 0, 2))
+
+    def test_reach_frontier_shared_by_key(self, tiny_graph):
+        seeds = np.flatnonzero(tiny_graph.labels == 0)
+        first = cached_reach(tiny_graph, ("label", 0), seeds, 1)
+        second = cached_reach(tiny_graph, ("label", 0), seeds, 1)
+        assert second is first
+        assert np.array_equal(
+            first, k_hop_reach(tiny_graph.adjacency, seeds, 1)
+        )
+
+
+class TestInvalidation:
+    def test_perturbed_graph_is_a_fresh_key(self, tiny_graph):
+        clean = cached_normalized_adjacency(tiny_graph)
+        u, v = 0, tiny_graph.num_nodes - 1
+        if tiny_graph.has_edge(u, v):
+            pytest.skip("unlucky edge pick")
+        perturbed = tiny_graph.with_edges_added([(u, v)])
+        corrupted = cached_normalized_adjacency(perturbed)
+        # The new operator reflects the adversarial edge...
+        assert corrupted[u, v] != 0.0
+        # ...and the clean graph's cached operator is untouched.
+        assert clean[u, v] == 0.0
+        assert cached_normalized_adjacency(tiny_graph) is clean
+
+    def test_edge_removal_also_invalidates(self, tiny_graph):
+        u, v = sorted(tiny_graph.edge_set())[0]
+        cached_degrees(tiny_graph)
+        pruned = tiny_graph.with_edges_removed([(u, v)])
+        degrees = cached_degrees(pruned)
+        assert degrees[u] == tiny_graph.degrees()[u] - 1
+        assert cached_degrees(tiny_graph)[u] == tiny_graph.degrees()[u]
+
+    def test_no_stale_prediction_after_attack(self, tiny_graph, trained_model):
+        """Attack.predict on the perturbed graph must not reuse clean logits."""
+        from repro.attacks import RandomAttack
+
+        attack = RandomAttack(trained_model, seed=0)
+        clean = attack.predict(tiny_graph)
+        assert np.array_equal(attack.predict(tiny_graph), clean)  # cache hit
+        result = attack.attack(tiny_graph, 0, None, 3)
+        if result.added_edges:
+            perturbed_predictions = attack.predict(result.perturbed_graph)
+            direct = normalize_adjacency(result.perturbed_graph.adjacency)
+            from repro.autodiff.tensor import Tensor, no_grad
+
+            with no_grad():
+                logits = trained_model(
+                    direct, Tensor(result.perturbed_graph.features)
+                )
+            assert np.array_equal(
+                perturbed_predictions, logits.data.argmax(axis=1)
+            )
+
+
+class TestStats:
+    def test_reset_zeroes_counters(self, tiny_graph):
+        cached_degrees(tiny_graph)
+        reset_graph_cache()
+        assert graph_cache_stats() == {"hits": 0, "misses": 0}
