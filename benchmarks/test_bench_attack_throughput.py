@@ -1,16 +1,20 @@
-"""Throughput benchmark: serial full-graph GEAttack vs the batched engine.
+"""Throughput benchmark: serial full-graph attacks vs the batched engine.
 
-Times the paper's core attack over a ≥20-victim set on the synthetic
-Cora-like dataset twice:
+Times every explainer-aware attack of the locality engine — GEAttack,
+IG-Attack, FGA-T&E and GEAttack-PG — over a victim set on the synthetic
+Cora-like dataset (n≈400), twice per attack:
 
 * **serial** — the seed path: one full-graph ``attack()`` per victim;
 * **batched** — ``attack_many``: per-victim subgraph-locality execution
   with the shared frontier/normalization caches.
 
-Writes the measurements to ``BENCH_attack_throughput.json`` at the repo
-root and asserts the engine's contract: at least a 3× wall-clock speedup
-with *exactly* matching attack-success metrics (the locality engine is
-exact, so the edge sets match too — recorded in the JSON).
+Writes one row per attack to ``BENCH_attack_throughput.json`` at the repo
+root and asserts the engine's contract: *exactly* matching attack-success
+metrics and edge sets for every attack (the locality engine is exact), and
+at least a 3× wall-clock speedup for the two pure-subgraph attacks
+(GEAttack and IG-Attack; the explainer-in-the-loop attacks spend most of
+their time inside mask/MLP optimization that is subgraph-sized on both
+paths, so their speedup is recorded but not thresholded).
 """
 
 from __future__ import annotations
@@ -21,9 +25,10 @@ import time
 
 import numpy as np
 
-from repro.attacks import GEAttack
+from repro.attacks import FGATExplainerEvasion, GEAttack, GEAttackPG, IGAttack
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.datasets import load_dataset, random_split
+from repro.explain import PGExplainer
 from repro.graph import normalize_adjacency, reset_graph_cache
 from repro.nn import GCN, train_node_classifier
 
@@ -33,6 +38,10 @@ BENCH_PATH = os.path.join(
 )
 
 NUM_VICTIMS = 20
+#: The explainer-in-the-loop attacks run a smaller victim set: their inner
+#: optimization dominates wall-clock on both paths, so more victims only
+#: stretch the benchmark without sharpening the contract.
+NUM_VICTIMS_HEAVY = 8
 BUDGET = 2
 MIN_SPEEDUP = 3.0
 
@@ -77,11 +86,8 @@ def _attack_success(results):
     return float(np.mean([r.misclassified for r in results]))
 
 
-def test_bench_attack_throughput():
-    graph, model, victims = _prepare()
-    assert len(victims) >= 20, "benchmark needs at least 20 victims"
-    attack = GEAttack(model, seed=21, inner_steps=3)
-
+def _bench_one(attack, graph, victims):
+    """Serial vs batched timings plus the exactness record for one attack."""
     reset_graph_cache()
     start = time.perf_counter()
     serial = [
@@ -95,16 +101,48 @@ def test_bench_attack_throughput():
     batched = attack.attack_many(graph, victims)
     batched_seconds = time.perf_counter() - start
 
-    speedup = serial_seconds / batched_seconds
-    asr_serial = _attack_success(serial)
-    asr_batched = _attack_success(batched)
-    edges_identical = all(
-        one.added_edges == many.added_edges
-        for one, many in zip(serial, batched)
-    )
+    return {
+        "num_victims": len(victims),
+        "budget_per_victim": BUDGET,
+        "serial_seconds": round(serial_seconds, 3),
+        "batched_seconds": round(batched_seconds, 3),
+        "speedup": round(serial_seconds / batched_seconds, 2),
+        "asr_serial": _attack_success(serial),
+        "asr_batched": _attack_success(batched),
+        "edges_identical": all(
+            one.added_edges == many.added_edges
+            for one, many in zip(serial, batched)
+        ),
+    }
+
+
+def test_bench_attack_throughput():
+    graph, model, victims = _prepare()
+    assert len(victims) >= 20, "benchmark needs at least 20 victims"
+    heavy_victims = victims[:NUM_VICTIMS_HEAVY]
+    pg = PGExplainer(model, epochs=6, seed=13).fit(graph, instances=10)
+
+    rows = {}
+    cases = [
+        ("GEAttack", GEAttack(model, seed=21, inner_steps=3), victims, True),
+        ("IG-Attack", IGAttack(model, seed=21, steps=10), victims, True),
+        (
+            "FGA-T&E",
+            FGATExplainerEvasion(model, seed=21, explainer_epochs=20),
+            heavy_victims,
+            False,
+        ),
+        ("GEAttack-PG", GEAttackPG(model, pg, seed=21), heavy_victims, False),
+    ]
+    for name, attack, victim_set, thresholded in cases:
+        row = _bench_one(attack, graph, victim_set)
+        row["min_speedup"] = MIN_SPEEDUP if thresholded else None
+        rows[name] = row
+
+    flagship = GEAttack(model, seed=21, inner_steps=3)
     subgraph_sizes = []
     for node, label, _ in victims:
-        scene = attack.build_locality_scene(graph, node, label)
+        scene = flagship.build_locality_scene(graph, node, label)
         subgraph_sizes.append(
             scene.view(graph).graph.num_nodes if scene else graph.num_nodes
         )
@@ -113,15 +151,7 @@ def test_bench_attack_throughput():
         "dataset": "cora-like (scale=0.17, seed=7)",
         "graph_nodes": int(graph.num_nodes),
         "graph_edges": int(graph.num_edges),
-        "attack": "GEAttack(inner_steps=3)",
-        "num_victims": len(victims),
-        "budget_per_victim": BUDGET,
-        "serial_seconds": round(serial_seconds, 3),
-        "batched_seconds": round(batched_seconds, 3),
-        "speedup": round(speedup, 2),
-        "asr_serial": asr_serial,
-        "asr_batched": asr_batched,
-        "edges_identical": bool(edges_identical),
+        "attacks": rows,
         "mean_subgraph_nodes": float(np.mean(subgraph_sizes)),
         "mean_subgraph_fraction": float(
             np.mean(subgraph_sizes) / graph.num_nodes
@@ -131,9 +161,17 @@ def test_bench_attack_throughput():
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    assert asr_batched == asr_serial, "batched ASR must match the serial path"
-    assert edges_identical, "locality execution must reproduce the edge sets"
-    assert speedup >= MIN_SPEEDUP, (
-        f"batched engine only {speedup:.2f}x faster "
-        f"(serial {serial_seconds:.2f}s, batched {batched_seconds:.2f}s)"
-    )
+    for name, row in rows.items():
+        assert row["asr_batched"] == row["asr_serial"], (
+            f"{name}: batched ASR must match the serial path"
+        )
+        assert row["edges_identical"], (
+            f"{name}: locality execution must reproduce the edge sets"
+        )
+    for name, attack, victim_set, thresholded in cases:
+        if thresholded:
+            assert rows[name]["speedup"] >= MIN_SPEEDUP, (
+                f"{name}: batched engine only {rows[name]['speedup']:.2f}x "
+                f"faster (serial {rows[name]['serial_seconds']:.2f}s, "
+                f"batched {rows[name]['batched_seconds']:.2f}s)"
+            )

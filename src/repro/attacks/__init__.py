@@ -26,6 +26,7 @@ from repro.attacks.base import (
     VictimSpec,
     candidate_nodes,
     coerce_victim,
+    record_trace,
 )
 from repro.attacks.locality import (
     IdentityScene,
@@ -64,6 +65,23 @@ ATTACKS = {
     "GEAttack": GEAttack,
 }
 
+#: Extension attacks beyond the paper's Table-1 columns.  Together with
+#: :data:`ATTACKS` this is the full edge-attack surface of the library; the
+#: differential locality harness (``tests/test_attack_locality.py``)
+#: iterates ``{**ATTACKS, **EXTENSION_ATTACKS}``, so registering a new
+#: attack here is enough to put it under equivalence and interface tests.
+EXTENSION_ATTACKS = {
+    "DICE": DICE,
+    "GEAttack-PG": GEAttackPG,
+    "Metattack": Metattack,
+}
+
+#: Feature-space attacks (same registration contract as above).
+FEATURE_ATTACKS = {
+    "FeatureFGA": FeatureFGA,
+    "GEF-Attack": GEFAttack,
+}
+
 
 def make_attack(name, model, **kwargs):
     """Instantiate an attack from the registry by its paper name."""
@@ -74,6 +92,8 @@ def make_attack(name, model, **kwargs):
 
 __all__ = [
     "ATTACKS",
+    "EXTENSION_ATTACKS",
+    "FEATURE_ATTACKS",
     "Attack",
     "AttackResult",
     "CandidatePolicy",
@@ -104,6 +124,7 @@ __all__ = [
     "graph_with_features_flipped",
     "make_attack",
     "powerlaw_log_likelihood",
+    "record_trace",
     "select_best_candidate",
     "targeted_loss",
 ]

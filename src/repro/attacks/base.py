@@ -30,6 +30,7 @@ __all__ = [
     "VictimSpec",
     "candidate_nodes",
     "coerce_victim",
+    "record_trace",
 ]
 
 
@@ -49,6 +50,12 @@ class AttackResult:
         The clean-graph prediction for the victim.
     final_prediction:
         The model's prediction for the victim on the perturbed graph.
+    score_trace:
+        One record per greedy step (see :func:`record_trace`): the global
+        candidate ids, their scores, and the chosen endpoint.  Attacks with
+        no per-candidate scoring (e.g. random baselines) leave it empty.
+        The differential harness compares these traces between full-graph
+        and subgraph-locality execution.
     """
 
     perturbed_graph: object
@@ -58,6 +65,7 @@ class AttackResult:
     original_prediction: int
     final_prediction: int
     history: list = field(default_factory=list)
+    score_trace: list = field(default_factory=list)
 
     @property
     def misclassified(self):
@@ -101,6 +109,31 @@ def coerce_victim(victim):
         node=int(node),
         target_label=None if target_label is None else int(target_label),
         budget=int(budget),
+    )
+
+
+def record_trace(trace, view, candidates, scores, choice):
+    """Append one greedy step's per-candidate scores to ``trace``.
+
+    ``candidates``/``scores`` are the aligned candidate array and score
+    array of the step; when ``view`` is given, candidates are local ids and
+    are mapped to global ids.  Entries are stored sorted by global id, so a
+    subgraph-locality run and a full-graph run of the same step produce
+    directly comparable records regardless of internal candidate order.
+    ``choice`` identifies the selected candidate (global endpoint id, or a
+    feature index for feature attacks).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if view is not None:
+        candidates = view.to_global_array(candidates)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(candidates)
+    trace.append(
+        {
+            "choice": int(choice),
+            "candidates": candidates[order],
+            "scores": scores[order],
+        }
     )
 
 
@@ -349,7 +382,9 @@ class Attack:
         )
         return forward
 
-    def _finalize(self, graph, perturbed, added, target_node, target_label):
+    def _finalize(
+        self, graph, perturbed, added, target_node, target_label, score_trace=None
+    ):
         return AttackResult(
             perturbed_graph=perturbed,
             added_edges=[edge_tuple(u, v) for u, v in added],
@@ -357,4 +392,5 @@ class Attack:
             target_label=None if target_label is None else int(target_label),
             original_prediction=self.predict(graph, target_node),
             final_prediction=self.predict(perturbed, target_node),
+            score_trace=score_trace or [],
         )

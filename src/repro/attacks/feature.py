@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.attacks.base import Attack
+from repro.attacks.base import Attack, record_trace
 from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
 from repro.autodiff import ops
@@ -60,6 +60,7 @@ class FeatureAttackResult:
     original_prediction: int
     final_prediction: int
     history: list = field(default_factory=list)
+    score_trace: list = field(default_factory=list)
 
     @property
     def misclassified(self):
@@ -114,7 +115,9 @@ class FeatureAttackBase(Attack):
             loss = loss + extra_loss(features)
         return grad(loss, features).data[int(target_node)]
 
-    def finalize(self, graph, perturbed, flipped, target_node, target_label):
+    def finalize(
+        self, graph, perturbed, flipped, target_node, target_label, score_trace=None
+    ):
         return FeatureAttackResult(
             perturbed_graph=perturbed,
             flipped_features=[int(d) for d in flipped],
@@ -122,6 +125,7 @@ class FeatureAttackBase(Attack):
             target_label=None if target_label is None else int(target_label),
             original_prediction=self.predict(graph, target_node),
             final_prediction=self.predict(perturbed, target_node),
+            score_trace=score_trace or [],
         )
 
 
@@ -143,6 +147,7 @@ class FeatureFGA(FeatureAttackBase):
         scene = locality or IdentityScene(graph, target_node)
         perturbed = graph
         flipped = []
+        trace = []
         for _ in range(int(budget)):
             view = scene.view(perturbed)
             candidates = self.candidate_features(view.graph, view.node)
@@ -151,9 +156,14 @@ class FeatureFGA(FeatureAttackBase):
             gradient = self.feature_gradient(view.graph, view.node, target_label)
             scores = -gradient[candidates]
             best = int(candidates[int(np.argmax(scores))])
+            # Feature indices are global in either execution mode (node
+            # re-indexing never touches the feature axis): no view mapping.
+            record_trace(trace, None, candidates, scores, best)
             flipped.append(best)
             perturbed = graph_with_features_flipped(perturbed, target_node, [best])
-        return self.finalize(graph, perturbed, flipped, target_node, target_label)
+        return self.finalize(
+            graph, perturbed, flipped, target_node, target_label, score_trace=trace
+        )
 
 
 class GEFAttack(FeatureAttackBase):
@@ -223,6 +233,7 @@ class GEFAttack(FeatureAttackBase):
 
         perturbed = graph
         flipped = []
+        trace = []
         for _ in range(int(budget)):
             view = scene.view(perturbed)
             candidates = self.candidate_features(view.graph, view.node)
@@ -248,11 +259,14 @@ class GEFAttack(FeatureAttackBase):
             )
             scores = -gradient[candidates]
             best = int(candidates[int(np.argmax(scores))])
+            record_trace(trace, None, candidates, scores, best)
             flipped.append(best)
             perturbed = graph_with_features_flipped(perturbed, target_node, [best])
             # The chosen bit leaves the penalty support (Algorithm 1 line 10).
             feature_evasion[best] = 0.0
-        return self.finalize(graph, perturbed, flipped, target_node, target_label)
+        return self.finalize(
+            graph, perturbed, flipped, target_node, target_label, score_trace=trace
+        )
 
     # -- the bilevel objective ----------------------------------------------
     def _joint_gradient(

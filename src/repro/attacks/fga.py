@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, DenseGCNForward
+from repro.attacks.base import Attack, DenseGCNForward, record_trace
 from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
 from repro.autodiff import ops
@@ -48,6 +48,7 @@ class FGA(Attack):
         original = self.predict(graph, target_node)
         perturbed = graph
         added = []
+        trace = []
         for _ in range(int(budget)):
             view = scene.view(perturbed)
             label, sign = self._attack_direction(target_label, original)
@@ -61,10 +62,14 @@ class FGA(Attack):
             # Undirected edge: entry (i, j) and (j, i) both change.
             scores = sign * (gradient + gradient.T)
             best_local, _ = select_best_candidate(scores, view.node, candidates)
-            edge = (target_node, view.to_global(best_local))
+            best = view.to_global(best_local)
+            record_trace(trace, view, candidates, scores[view.node, candidates], best)
+            edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
     def _attack_direction(self, target_label, original_prediction):
         """(label to score against, gradient sign meaning 'useful')."""

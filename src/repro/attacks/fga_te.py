@@ -6,14 +6,25 @@ explanation's top-L subgraph from the candidate set.  The intuition is that
 edges to "explaining" nodes are the ones an inspector would look at; the
 paper shows this heuristic barely helps (Table 1), motivating GEAttack's
 principled bilevel formulation.
+
+Locality: GNNExplainer's mask optimization lives entirely on the victim's
+2-hop computation subgraph, and a locality view induces that subgraph
+*identically* (same node set, same edges, same features, same mask-init RNG
+— the view covers ``N_{hops+1}(victim)``), so the per-step explanation — and
+hence the excluded candidate set — is byte-identical whether the attack runs
+on the full graph or on the extracted scene.  The explained label is the
+victim's prediction on the full perturbed graph, which the base class
+memoizes per graph; only the FGA gradient step runs on the dense ``s × s``
+slice.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import DenseGCNForward
+from repro.attacks.base import record_trace
 from repro.attacks.fga import FGATargeted, select_best_candidate, targeted_loss
+from repro.attacks.locality import IdentityScene
 from repro.autodiff.tensor import Tensor, grad
 from repro.explain.gnn_explainer import GNNExplainer
 
@@ -24,6 +35,7 @@ class FGATExplainerEvasion(FGATargeted):
     """FGA-T with explanation-subgraph candidate exclusion."""
 
     name = "FGA-T&E"
+    supports_locality = True
 
     def __init__(
         self,
@@ -39,32 +51,42 @@ class FGATExplainerEvasion(FGATargeted):
         self.explainer_lr = float(explainer_lr)
         self.explanation_size = int(explanation_size)
 
-    # Overrides FGA-T's loop without the locality protocol: the explainer
-    # re-ranking consults full-graph explanations, so it runs unbatched.
-    supports_locality = False
-
-    def attack(self, graph, target_node, target_label, budget):
-        forward = DenseGCNForward(self.model, graph.features)
+    def attack(self, graph, target_node, target_label, budget, locality=None):
+        target_node = int(target_node)
+        scene = locality or IdentityScene(graph, target_node)
         perturbed = graph
         added = []
+        trace = []
         for _ in range(int(budget)):
-            candidates = self._filtered_candidates(
-                perturbed, target_node, target_label
-            )
+            view = scene.view(perturbed)
+            candidates = self._filtered_candidates(view, perturbed, target_label)
             if candidates.size == 0:
                 break
-            adjacency = Tensor(perturbed.dense_adjacency(), requires_grad=True)
-            loss = targeted_loss(forward, adjacency, target_node, target_label)
+            forward = self._scene_forward(scene, view)
+            adjacency = Tensor(view.graph.dense_adjacency(), requires_grad=True)
+            loss = targeted_loss(forward, adjacency, view.node, target_label)
             gradient = grad(loss, adjacency).data
             scores = -(gradient + gradient.T)
-            best, _ = select_best_candidate(scores, target_node, candidates)
-            edge = (int(target_node), best)
+            best_local, _ = select_best_candidate(scores, view.node, candidates)
+            best = view.to_global(best_local)
+            record_trace(trace, view, candidates, scores[view.node, candidates], best)
+            edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
-    def _filtered_candidates(self, graph, target_node, target_label):
-        candidates = self._candidates(graph, target_node, target_label)
+    def _filtered_candidates(self, view, perturbed, target_label):
+        """Candidates minus the explanation's top-L nodes (view-local ids).
+
+        The explanation runs on the view's graph: it only ever reads the
+        victim's 2-hop computation subgraph, which the view induces exactly,
+        so the optimized mask matches full-graph execution.  The explained
+        label is the model's prediction on the full perturbed graph
+        (memoized), exactly what ``explain_node`` would derive itself.
+        """
+        candidates = self._candidates(view.graph, view.node, target_label)
         if candidates.size == 0:
             return candidates
         explainer = GNNExplainer(
@@ -73,11 +95,9 @@ class FGATExplainerEvasion(FGATargeted):
             lr=self.explainer_lr,
             seed=self.seed,
         )
-        explanation = explainer.explain_node(graph, int(target_node))
-        excluded = set()
-        for u, v in explanation.top_edges(self.explanation_size):
-            excluded.add(int(u))
-            excluded.add(int(v))
+        label = self.predict(perturbed, view.to_global(view.node))
+        explanation = explainer.explain_node(view.graph, view.node, label=label)
+        excluded = explanation.top_nodes(self.explanation_size)
         keep = np.array([int(v) not in excluded for v in candidates], dtype=bool)
         filtered = candidates[keep]
         # If the explanation covers every candidate, fall back to the full

@@ -34,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.attacks.base import Attack, DenseGCNForward
+from repro.attacks.base import Attack, record_trace
 from repro.attacks.fga import targeted_loss
 from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
@@ -146,6 +146,7 @@ class GEAttack(Attack):
 
         perturbed = graph
         added = []
+        trace = []
         for _ in range(int(budget)):
             view = scene.view(perturbed)
             candidates = self._candidates(view.graph, view.node, target_label)
@@ -164,16 +165,20 @@ class GEAttack(Attack):
                 degree_offset=view.masked_degree_offset(mask_full),
             )
             best = view.to_global(int(candidates[int(np.argmax(scores))]))
+            record_trace(trace, view, candidates, scores, best)
             edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
     def _one_shot(self, graph, scene, target_node, target_label, mask_full, budget):
         """Ablation: pick the top-Δ candidates from one joint gradient."""
         view = scene.view(graph)
         candidates = self._candidates(view.graph, view.node, target_label)
         added = []
+        trace = []
         if candidates.size:
             scores = self._candidate_scores(
                 self._scene_forward(scene, view),
@@ -189,8 +194,11 @@ class GEAttack(Attack):
             added = [
                 (target_node, view.to_global(int(candidates[i]))) for i in order
             ]
+            record_trace(trace, view, candidates, scores, added[0][1])
         perturbed = graph.with_edges_added(added) if added else graph
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
     def _candidate_scores(
         self, forward, graph, target_node, target_label, evasion, mask_init,
@@ -294,9 +302,20 @@ class GEAttackPG(Attack):
     the penalty is the tuned MLP's total edge probability on the victim's
     non-clean row entries.  Gradients reach ``Â`` through both the
     embeddings and the unrolled fine-tuning.
+
+    Locality: every embedding row the penalty reads belongs to the victim's
+    2-hop subgraph, to a candidate endpoint, or to the victim itself — all
+    nodes whose *entire* 1-hop neighborhood the locality scene induces (the
+    node set closes candidates under ``hops-1`` reach), so first-layer
+    embeddings computed on the ``s × s`` slice with the view's constant
+    ``degree_offset`` equal the full-graph embeddings on those rows.  The
+    MLP fine-tuning unroll reads only subgraph quantities (sliced
+    ``X W₁`` support, in-subgraph adjacency entries), so the whole penalty
+    — and its second-order gradient to ``Â`` — is exact on the view.
     """
 
     name = "GEAttack-PG"
+    supports_locality = True
 
     def __init__(
         self,
@@ -320,26 +339,32 @@ class GEAttackPG(Attack):
         self.size_coefficient = float(size_coefficient)
         self.normalize_penalty = bool(normalize_penalty)
 
-    def attack(self, graph, target_node, target_label, budget):
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
         target_label = int(target_label)
-        forward = DenseGCNForward(self.model, graph.features)
-        evasion = evasion_matrix(graph)
+        scene = locality or IdentityScene(graph, target_node)
         perturbed = graph
         added = []
+        trace = []
         for _ in range(int(budget)):
-            candidates = self._candidates(perturbed, target_node, target_label)
+            view = scene.view(perturbed)
+            candidates = self._candidates(view.graph, view.node, target_label)
             if candidates.size == 0:
                 break
-            adjacency = Tensor(perturbed.dense_adjacency(), requires_grad=True)
+            forward = self._scene_forward(scene, view)
+            # B over the current graph: clean edges, the diagonal and every
+            # already-added edge are zero — recomputing per step equals the
+            # clean-graph matrix with added entries zeroed out.
+            evasion = evasion_matrix(view.graph)
+            adjacency = Tensor(view.graph.dense_adjacency(), requires_grad=True)
             attack_term = targeted_loss(
-                forward, adjacency, target_node, target_label
+                forward, adjacency, view.node, target_label
             )
             penalty = self._pg_penalty(
                 forward,
                 adjacency,
-                perturbed,
-                target_node,
+                view.graph,
+                view.node,
                 target_label,
                 evasion,
                 candidates,
@@ -350,28 +375,35 @@ class GEAttackPG(Attack):
                 # candidate row before combining.
                 attack_gradient = grad(attack_term, adjacency).data
                 penalty_gradient = grad(penalty, adjacency).data
-                a = (attack_gradient + attack_gradient.T)[target_node, candidates]
+                a = (attack_gradient + attack_gradient.T)[view.node, candidates]
                 p = (penalty_gradient + penalty_gradient.T)[
-                    target_node, candidates
+                    view.node, candidates
                 ]
                 scale = np.abs(a).mean() / (np.abs(p).mean() + 1e-12)
                 scores = -(a + self.lam * scale * p)
             else:
                 joint = attack_term + self.lam * penalty
                 gradient = grad(joint, adjacency).data
-                scores = -(gradient + gradient.T)[target_node, candidates]
-            best = int(candidates[int(np.argmax(scores))])
+                scores = -(gradient + gradient.T)[view.node, candidates]
+            best = view.to_global(int(candidates[int(np.argmax(scores))]))
+            record_trace(trace, view, candidates, scores, best)
             edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-            evasion[target_node, best] = 0.0
-            evasion[best, target_node] = 0.0
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
     # -- internals ---------------------------------------------------------
     def _embeddings(self, forward, adjacency):
-        """First-layer GCN embeddings, differentiable w.r.t. ``adjacency``."""
-        normalized = normalize_adjacency_tensor(adjacency)
+        """First-layer GCN embeddings, differentiable w.r.t. ``adjacency``.
+
+        ``forward.degree_offset`` restores boundary degrees on a locality
+        view, so rows whose neighborhoods the view induces are exact.
+        """
+        normalized = normalize_adjacency_tensor(
+            adjacency, degree_offset=forward.degree_offset
+        )
         hidden = ops.matmul(normalized, forward.first_support)
         if forward.first_bias is not None:
             hidden = hidden + forward.first_bias
@@ -402,6 +434,14 @@ class GEAttackPG(Attack):
         evasion,
         candidates,
     ):
+        """Tuned-MLP edge probability mass on the victim's non-clean pairs.
+
+        ``perturbed``/``target_node``/``evasion``/``candidates`` all live in
+        one coordinate system — the full graph on the classic path, the
+        locality view's graph on the subgraph path; the computation below is
+        identical either way (see the class docstring for why the view rows
+        it reads are exact).
+        """
         embeddings = self._embeddings(forward, adjacency)
 
         # The victim's computation subgraph: index structure is constant for
@@ -417,10 +457,7 @@ class GEAttackPG(Attack):
         sub_inputs = self._edge_inputs(
             embeddings, rows_global, cols_global, target_node
         )
-        weights = [
-            Tensor(w.data.copy(), requires_grad=True)
-            for w in self.pg_explainer.weights
-        ]
+        weights = self.pg_explainer.cloned_weights()
         for _ in range(self.inner_steps):
             logits = ops.reshape(
                 apply_edge_mlp(weights, sub_inputs), (int(rows_local.size),)

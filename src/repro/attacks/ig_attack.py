@@ -9,14 +9,22 @@ candidate direction (entries at 1), which better reflects the effect of the
 Following common practice (and for tractability) the path interpolates all
 candidate entries of the victim's row jointly; the per-edge IG score is the
 path-averaged gradient at that entry times the flip magnitude (= 1).
+
+Locality: the interpolation direction only touches the victim's candidate
+row, and every candidate endpoint (with its degree-closed neighborhood) is
+part of the locality scene's node set, so the whole path-integral runs
+exactly on the ``s × s`` subgraph slice — the interpolated degrees of
+in-subgraph nodes are the full-graph interpolated degrees once the view's
+constant boundary ``degree_offset`` is restored.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.base import Attack, DenseGCNForward
+from repro.attacks.base import Attack, record_trace
 from repro.attacks.fga import select_best_candidate, targeted_loss
+from repro.attacks.locality import IdentityScene
 from repro.autodiff.tensor import Tensor, grad
 
 __all__ = ["IGAttack"]
@@ -26,6 +34,7 @@ class IGAttack(Attack):
     """Targeted integrated-gradients structure attack (additions only)."""
 
     name = "IG-Attack"
+    supports_locality = True
 
     def __init__(self, model, seed=0, candidate_policy=None, steps=10):
         super().__init__(model, seed=seed, candidate_policy=candidate_policy)
@@ -33,23 +42,30 @@ class IGAttack(Attack):
             raise ValueError("integration needs at least one step")
         self.steps = int(steps)
 
-    def attack(self, graph, target_node, target_label, budget):
-        forward = DenseGCNForward(self.model, graph.features)
+    def attack(self, graph, target_node, target_label, budget, locality=None):
         target_node = int(target_node)
+        scene = locality or IdentityScene(graph, target_node)
         perturbed = graph
         added = []
+        trace = []
         for _ in range(int(budget)):
-            candidates = self._candidates(perturbed, target_node, target_label)
+            view = scene.view(perturbed)
+            candidates = self._candidates(view.graph, view.node, target_label)
             if candidates.size == 0:
                 break
+            forward = self._scene_forward(scene, view)
             scores = self._integrated_gradients(
-                forward, perturbed, target_node, target_label, candidates
+                forward, view.graph, view.node, target_label, candidates
             )
-            best, _ = select_best_candidate(scores, target_node, candidates)
+            best_local, _ = select_best_candidate(scores, view.node, candidates)
+            best = view.to_global(best_local)
+            record_trace(trace, view, candidates, scores[view.node, candidates], best)
             edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
     def _integrated_gradients(
         self, forward, graph, target_node, target_label, candidates

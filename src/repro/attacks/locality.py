@@ -38,9 +38,30 @@ ingredients make that true for a ``hops``-layer GCN:
    attack runs on the full graph or on a subgraph, and identical across
    shard orders of the parallel runner.
 
+The same three ingredients cover every attack in the registry, including
+the explainer-in-the-loop ones:
+
+* **IG-Attack** interpolates only the victim's candidate row — every
+  touched entry is in-subgraph, and the boundary deficits are untouched by
+  the interpolation, so the path-averaged gradients are exact.
+* **FGA-T&E** consults GNNExplainer, whose mask lives on the victim's
+  2-hop computation subgraph; the view induces that subgraph identically
+  (node set, edges, features, mask-init shape), so the explanation — and
+  the exclusion set derived from it — is byte-identical without any
+  boundary correction.
+* **GEAttack-PG** reads first-layer embeddings only for nodes of the
+  victim's 2-hop subgraph, the candidate endpoints and the victim itself;
+  the node set closes candidates under ``hops-1`` reach, so each such row
+  has its entire 1-hop neighborhood (and, via ``raw_degree_offset``, its
+  true degree) inside the view — those embedding rows, and the unrolled
+  MLP fine-tuning built from them, are exact.
+
 :class:`IdentityScene` implements the same protocol over the full graph, so
 attack loops are written once against the scene/view interface and the
 classic single-victim path is the locality path with an identity mapping.
+The differential harness (``tests/test_attack_locality.py``) enforces this
+contract registry-wide: edge-set, ASR and per-step score-trace equality
+between the two execution modes.
 """
 
 from __future__ import annotations

@@ -16,12 +16,22 @@ DESIGN.md): a linear two-propagation surrogate (as in Nettack), vanilla
 gradient-descent inner training from a fixed initialization, and the
 "Meta-Self" attacker loss (cross-entropy of unlabeled nodes against
 self-training labels).
+
+Although its threat model is global (any edge flip, poisoning the training
+run) rather than victim-centric, :class:`Metattack` conforms to the
+:class:`repro.attacks.Attack` base interface: :meth:`attack` runs a
+``budget``-flip poisoning pass seeded by ``base_seed + victim_node`` (the
+engine's per-victim determinism convention) and reports the frozen model's
+prediction change at the victim.  ``supports_locality`` stays ``False`` —
+global flips have no victim-bounded computation subgraph — so the batched
+engine transparently uses the full-graph fallback.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks.base import Attack
 from repro.autodiff import functional as F
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad, no_grad
@@ -31,11 +41,15 @@ from repro.nn import init
 __all__ = ["Metattack"]
 
 
-class Metattack:
+class Metattack(Attack):
     """Global structure poisoning with meta-gradients (Meta-Self variant).
 
     Parameters
     ----------
+    model:
+        Optional frozen GCN used only to evaluate prediction flips in the
+        :meth:`attack` interface; :meth:`poison` itself is model-free (the
+        surrogate is trained from scratch inside the meta-gradient unroll).
     hidden:
         Width of the unrolled linear surrogate.
     train_steps, train_lr:
@@ -45,23 +59,65 @@ class Metattack:
     self_training:
         Use the surrogate's own predictions as labels for unlabeled nodes
         (the "Meta-Self" objective); otherwise attack the train loss only.
+    train_fraction:
+        Fraction of nodes treated as labeled when :meth:`attack` has to
+        derive a training split itself (drawn from the per-victim RNG).
     """
 
     name = "Metattack"
+    supports_locality = False
 
     def __init__(
         self,
+        model=None,
+        seed=0,
+        candidate_policy=None,
         hidden=16,
         train_steps=12,
         train_lr=0.5,
         self_training=True,
-        seed=0,
+        train_fraction=0.3,
     ):
+        super().__init__(model, seed=seed, candidate_policy=candidate_policy)
         self.hidden = int(hidden)
         self.train_steps = int(train_steps)
         self.train_lr = float(train_lr)
         self.self_training = bool(self_training)
-        self.seed = int(seed)
+        if not 0.0 < train_fraction <= 1.0:
+            raise ValueError("train_fraction must lie in (0, 1]")
+        self.train_fraction = float(train_fraction)
+
+    # -- base-interface entry point ----------------------------------------
+    def attack(self, graph, target_node, target_label, budget):
+        """Poison ``budget`` edge flips; report the victim's prediction flip.
+
+        Follows the engine's seeding convention (``base_seed + victim``), so
+        :meth:`~repro.attacks.Attack.attack_many` results are independent of
+        shard order.  Flips may remove edges too; removals are recorded in
+        ``result.history`` as ``("removed", edge)`` entries, matching DICE.
+        """
+        if self.model is None:
+            raise ValueError(
+                "Metattack.attack needs the attacked model to evaluate "
+                "prediction flips; use poison() for model-free poisoning"
+            )
+        target_node = int(target_node)
+        rng = np.random.default_rng(self.seed + target_node)
+        count = max(1, int(round(self.train_fraction * graph.num_nodes)))
+        train_index = np.sort(
+            rng.choice(graph.num_nodes, size=count, replace=False)
+        )
+        poisoned, _ = self._poison(graph, train_index, budget, rng)
+        # Net accounting against the clean graph: a pair flipped twice
+        # (added then removed, or vice versa) lands in neither list.
+        clean_edges = graph.edge_set()
+        poisoned_edges = poisoned.edge_set()
+        added = sorted(poisoned_edges - clean_edges)
+        result = self._finalize(graph, poisoned, added, target_node, target_label)
+        result.history = [
+            ("removed", edge) for edge in sorted(clean_edges - poisoned_edges)
+        ]
+        return result
 
     def poison(self, graph, train_index, budget):
         """Return ``(poisoned_graph, flipped_edges)`` after ``budget`` flips.
@@ -70,7 +126,12 @@ class Metattack:
         the Metattack threat model, unlike the paper's victim-centric
         addition-only setting.
         """
-        rng = np.random.default_rng(self.seed)
+        return self._poison(
+            graph, train_index, budget, np.random.default_rng(self.seed)
+        )
+
+    # -- internals -----------------------------------------------------------
+    def _poison(self, graph, train_index, budget, rng):
         train_index = np.asarray(train_index, dtype=np.int64)
         labels = graph.labels
         features = Tensor(graph.features)
@@ -109,7 +170,6 @@ class Metattack:
             flipped.append((u, v))
         return perturbed, flipped
 
-    # -- internals -----------------------------------------------------------
     def _surrogate_logits(self, adjacency_tensor, features, w1, w2):
         normalized = normalize_adjacency_tensor(adjacency_tensor)
         hidden = ops.matmul(normalized, ops.matmul(features, w1))

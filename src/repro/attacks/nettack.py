@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.attacks.base import Attack, DenseGCNForward
+from repro.attacks.base import Attack, record_trace
 from repro.attacks.fga import targeted_loss
 from repro.attacks.locality import IdentityScene
 from repro.autodiff.tensor import Tensor, grad
@@ -142,6 +142,7 @@ class Nettack(Attack):
         weights = self.surrogate.weight.data
         perturbed = graph
         added = []
+        trace = []
         for _ in range(int(budget)):
             view = scene.view(perturbed)
             candidates = self._candidates(view.graph, view.node, target_label)
@@ -160,19 +161,27 @@ class Nettack(Attack):
                 break
             feature_logits = self._feature_logits(scene, view, weights)
             screened = self._screen(view, target_label, candidates)
-            best, best_score = None, -np.inf
-            for candidate in screened:
-                score = self._exact_margin(
-                    view, target_label, int(candidate), feature_logits
-                )
-                if score > best_score:
-                    best, best_score = int(candidate), score
-            if best is None:
+            if screened.size == 0:
                 break
-            edge = (target_node, view.to_global(best))
+            margins = np.array(
+                [
+                    self._exact_margin(
+                        view, target_label, int(candidate), feature_logits
+                    )
+                    for candidate in screened
+                ]
+            )
+            best = int(screened[int(np.argmax(margins))])
+            best_global = view.to_global(best)
+            # Trace the exactly-scored (screened) candidates only — the
+            # screening set is itself deterministic per step.
+            record_trace(trace, view, screened, margins, best_global)
+            edge = (target_node, best_global)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
-        return self._finalize(graph, perturbed, added, target_node, target_label)
+        return self._finalize(
+            graph, perturbed, added, target_node, target_label, score_trace=trace
+        )
 
     # -- internals ------------------------------------------------------------
     def _feature_logits(self, scene, view, weights):

@@ -73,6 +73,18 @@ class Explanation:
         """The top-``k`` most important edges (the explainer's subgraph G_S)."""
         return self.ranking()[: int(k)]
 
+    def top_nodes(self, k):
+        """Endpoints of the top-``k`` edges — the nodes an inspector eyes.
+
+        This is the exclusion set of the FGA-T&E heuristic: candidates that
+        appear in the explanation's top-``k`` subgraph are skipped.
+        """
+        nodes = set()
+        for u, v in self.top_edges(k):
+            nodes.add(int(u))
+            nodes.add(int(v))
+        return nodes
+
     def weight_of(self, u, v):
         """Importance weight of a specific edge, or ``nan`` if absent."""
         wanted = edge_tuple(u, v)

@@ -22,9 +22,9 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad, no_grad
 from repro.explain.base import BaseExplainer, Explanation
 from repro.graph.utils import (
+    cached_normalized_adjacency,
     edge_tuple,
     k_hop_subgraph,
-    normalize_adjacency,
     normalize_adjacency_tensor,
 )
 
@@ -133,7 +133,10 @@ class GNNExplainer(BaseExplainer):
         model = self.model
         model.eval()
         if label is None:
-            normalized = normalize_adjacency(graph.adjacency)
+            # Memoized per graph: repeated explanations of one perturbed
+            # graph (and the attacks' own prediction queries) share the
+            # normalization — identical floats to the direct computation.
+            normalized = cached_normalized_adjacency(graph)
             with no_grad():
                 logits = model(normalized, Tensor(graph.features))
             label = int(np.argmax(logits.data[int(node)]))

@@ -21,9 +21,9 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad, no_grad
 from repro.explain.base import BaseExplainer, Explanation
 from repro.graph.utils import (
+    cached_normalized_adjacency,
     edge_tuple,
     k_hop_subgraph,
-    normalize_adjacency,
     normalize_adjacency_tensor,
 )
 from repro.nn import init
@@ -106,9 +106,18 @@ class PGExplainer(BaseExplainer):
         self.fitted = False
 
     # -- shared pieces -----------------------------------------------------
+    def cloned_weights(self):
+        """Fresh differentiable copies of the edge-MLP weights.
+
+        GEAttack-PG unrolls fine-tuning steps over these copies with
+        ``create_graph=True``; the explainer's own trained weights are never
+        touched.
+        """
+        return [Tensor(w.data.copy(), requires_grad=True) for w in self.weights]
+
     def node_embeddings(self, graph):
         """Constant first-layer GCN embeddings of every node of ``graph``."""
-        normalized = normalize_adjacency(graph.adjacency)
+        normalized = cached_normalized_adjacency(graph)
         with no_grad():
             hidden = self.model.hidden_representation(
                 normalized, Tensor(graph.features)
@@ -144,7 +153,7 @@ class PGExplainer(BaseExplainer):
             nodes = self._rng.choice(eligible, size=count, replace=False)
         nodes = [int(v) for v in np.asarray(nodes).ravel()]
 
-        normalized = normalize_adjacency(graph.adjacency)
+        normalized = cached_normalized_adjacency(graph)
         with no_grad():
             full_logits = self.model(normalized, Tensor(graph.features))
         predictions = full_logits.data.argmax(axis=1)
@@ -218,7 +227,7 @@ class PGExplainer(BaseExplainer):
             raise RuntimeError("call fit() before explain_node()")
         self.model.eval()
         if label is None:
-            normalized = normalize_adjacency(graph.adjacency)
+            normalized = cached_normalized_adjacency(graph)
             with no_grad():
                 logits = self.model(normalized, Tensor(graph.features))
             label = int(logits.data[int(node)].argmax())
