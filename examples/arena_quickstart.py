@@ -1,0 +1,75 @@
+"""Arena quickstart: a resumable attack × defense robustness matrix.
+
+Runs a small scenario grid twice against the same content-addressed result
+store to demonstrate the arena's two contracts:
+
+1. every per-victim attack result is persisted under a canonical config
+   hash, so the second run executes **zero** attacks;
+2. the rendered evasion/detection matrices are **byte-identical** between
+   the cold and the warm run — resumption is exact, not approximate.
+
+Usage::
+
+    python examples/arena_quickstart.py [--store arena-quickstart-store]
+
+CLI equivalent (resumable across shell sessions)::
+
+    python -m repro arena --attacks FGA-T,Nettack,GEAttack \
+        --defenses none,jaccard,explainer --store arena-store --resume
+"""
+
+import argparse
+import shutil
+import time
+
+from repro.arena import (
+    ResultStore,
+    ScenarioGrid,
+    render_arena_matrices,
+    run_arena,
+)
+from repro.experiments import SCALE_PRESETS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default="arena-quickstart-store")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument(
+        "--keep", action="store_true", help="keep the store after the demo"
+    )
+    args = parser.parse_args()
+
+    grid = ScenarioGrid(
+        attacks=("FGA-T", "Nettack", "GEAttack"),
+        defenses=("none", "jaccard", "explainer"),
+        budget_caps=(3,),
+        seeds=(0,),
+    )
+    store = ResultStore(args.store)
+    config = SCALE_PRESETS["smoke"]
+
+    print(f"== cold run ({grid.num_cells} cells) ==")
+    cases = {}  # share trained models between the two runs
+    start = time.perf_counter()
+    cold = run_arena(grid, store, config=config, jobs=args.jobs, cases=cases)
+    cold_text = render_arena_matrices(cold)
+    print(f"{cold.stats_line()}  [{time.perf_counter() - start:.1f}s]")
+    print()
+    print(cold_text)
+
+    print("\n== warm run (same grid, same store) ==")
+    start = time.perf_counter()
+    warm = run_arena(grid, store, config=config, jobs=args.jobs, cases=cases)
+    warm_text = render_arena_matrices(warm)
+    print(f"{warm.stats_line()}  [{time.perf_counter() - start:.1f}s]")
+    assert warm.executed == 0, "warm store must re-execute nothing"
+    assert warm_text == cold_text, "resume must render byte-identical matrices"
+    print("warm run executed zero attacks and rendered a byte-identical matrix")
+
+    if not args.keep:
+        shutil.rmtree(args.store, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

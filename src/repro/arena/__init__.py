@@ -1,0 +1,57 @@
+"""Robustness arena: the attack × defense scenario matrix.
+
+A declarative :class:`ScenarioGrid` (dataset × model × attack × defense ×
+budget × seed) is scheduled through the batched attack engine, with every
+per-victim :class:`~repro.attacks.AttackResult` persisted in a
+content-addressed :class:`ResultStore` — so an interrupted sweep resumes
+with zero re-executed attacks and renders a byte-identical matrix.
+
+Quick start::
+
+    from repro.arena import ScenarioGrid, ResultStore, run_arena
+    from repro.arena import render_arena_matrices
+
+    grid = ScenarioGrid(attacks=("FGA-T", "GEAttack"),
+                        defenses=("none", "explainer"))
+    run = run_arena(grid, ResultStore("arena-store"), jobs=4)
+    print(render_arena_matrices(run))
+    print(run.stats_line())  # "executed N attacks, M ... from the store"
+
+CLI equivalent: ``python -m repro arena --store arena-store --resume``.
+"""
+
+from repro.arena.grid import (
+    SCHEMA_VERSION,
+    ScenarioCell,
+    ScenarioGrid,
+    canonical_json,
+    cell_config,
+    content_key,
+    victim_key,
+)
+from repro.arena.report import arena_matrix, matrix_cells, render_arena_matrices
+from repro.arena.runner import (
+    ArenaRun,
+    CellEvaluation,
+    build_arena_attack,
+    run_arena,
+)
+from repro.arena.store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArenaRun",
+    "CellEvaluation",
+    "ResultStore",
+    "ScenarioCell",
+    "ScenarioGrid",
+    "arena_matrix",
+    "build_arena_attack",
+    "canonical_json",
+    "cell_config",
+    "content_key",
+    "matrix_cells",
+    "render_arena_matrices",
+    "run_arena",
+    "victim_key",
+]

@@ -1,0 +1,192 @@
+"""Declarative scenario grids and canonical content-addressed cell keys.
+
+A :class:`ScenarioGrid` spans the arena's six axes — dataset × model
+(hidden width) × attack × defense × budget × seed.  The defense axis is
+evaluation-only: attacks never see the defense, so the unit of *execution*
+(and of storage) is the defense-free :class:`ScenarioCell` plus one victim.
+
+Every stored result is keyed by a SHA-256 over the **canonical JSON** of
+everything that determines it: dataset generator settings, model
+architecture and training hyperparameters, attack name and operating
+point, victim-selection protocol, budget cap, seed, and the victim itself.
+Two configs that would produce different results can never collide on a
+key, and a key is reproducible across processes and dict orderings — the
+property that makes ``--resume`` sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioCell",
+    "ScenarioGrid",
+    "canonical_json",
+    "content_key",
+    "cell_config",
+    "victim_dict",
+    "victim_key",
+]
+
+#: Bump when the stored record layout or the key schema changes; old store
+#: entries then simply miss (never mis-hit).
+SCHEMA_VERSION = 1
+
+
+def canonical_json(payload):
+    """Deterministic JSON: sorted keys, no whitespace, default floats.
+
+    ``json`` serializes floats via shortest-round-trip ``repr``, so equal
+    doubles always produce identical bytes — the store's hashing and the
+    byte-identical-matrix guarantee both lean on this.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload):
+    """SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One attack-execution cell of the grid (defense-independent)."""
+
+    dataset: str
+    hidden: int
+    attack: str
+    budget_cap: int
+    seed: int
+
+    def label(self):
+        return (
+            f"{self.dataset}/h{self.hidden}/{self.attack}"
+            f"/Δ{self.budget_cap}/s{self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """The declarative attack × defense scenario matrix.
+
+    Axes are tuples so grids are hashable and order is explicit — the
+    matrix renders rows/columns in the declared order, and ``cells()``
+    enumerates deterministically (dataset-major, seed-minor).
+    """
+
+    datasets: tuple = ("cora",)
+    hidden_dims: tuple = (16,)
+    attacks: tuple = ("FGA-T", "Nettack", "GEAttack")
+    defenses: tuple = ("none", "jaccard", "svd", "explainer")
+    budget_caps: tuple = (3,)
+    seeds: tuple = (0,)
+
+    def __post_init__(self):
+        for axis in (
+            "datasets",
+            "hidden_dims",
+            "attacks",
+            "defenses",
+            "budget_caps",
+            "seeds",
+        ):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+
+    def cells(self):
+        """All execution cells in deterministic enumeration order."""
+        return [
+            ScenarioCell(dataset, hidden, attack, budget_cap, seed)
+            for dataset in self.datasets
+            for hidden in self.hidden_dims
+            for attack in self.attacks
+            for budget_cap in self.budget_caps
+            for seed in self.seeds
+        ]
+
+    @property
+    def num_cells(self):
+        return (
+            len(self.datasets)
+            * len(self.hidden_dims)
+            * len(self.attacks)
+            * len(self.budget_caps)
+            * len(self.seeds)
+        )
+
+
+def _attack_params(name, config):
+    """The operating-point knobs a given attack reads from the config.
+
+    Only knobs the attack actually consumes go into the key — changing
+    ``geattack_lam`` must invalidate GEAttack cells but not Nettack's.
+    """
+    if name == "GEAttack":
+        return {
+            "lam": config.geattack_lam,
+            "inner_steps": config.geattack_inner_steps,
+            "inner_lr": config.geattack_inner_lr,
+        }
+    if name == "GEAttack-PG":
+        # The runner caps the PG variant's unroll at 2 inner steps and fits
+        # its PGExplainer from the pg_* knobs, so the key must hash the
+        # *effective* operating point: the explainer settings matter, and
+        # inner_steps beyond the cap cannot change results.
+        return {
+            "lam": config.geattack_lam,
+            "inner_steps": min(config.geattack_inner_steps, 2),
+            "pg_epochs": config.pg_epochs,
+            "pg_instances": config.pg_instances,
+        }
+    if name == "FGA-T&E":
+        return {
+            "explainer_epochs": config.explainer_epochs,
+            "explanation_size": config.explanation_size,
+        }
+    return {}
+
+
+def cell_config(cell, config):
+    """Canonical dict of everything that determines a cell's results."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "dataset": {"name": cell.dataset, "scale": config.dataset_scale},
+        "model": {
+            "hidden": cell.hidden,
+            "epochs": config.epochs,
+            "learning_rate": config.learning_rate,
+            "weight_decay": config.weight_decay,
+            "dropout": config.dropout,
+        },
+        "victim_protocol": {
+            "num_victims": config.num_victims,
+            "margin_group": config.margin_group,
+            "min_degree": config.min_degree,
+            "max_degree": config.max_degree,
+        },
+        "attack": {"name": cell.attack, **_attack_params(cell.attack, config)},
+        "budget_cap": cell.budget_cap,
+        "seed": cell.seed,
+    }
+
+
+def victim_dict(spec):
+    """Canonical JSON-safe dict of one victim spec.
+
+    Shared by the content key and the stored payload so the two
+    serializations can never drift apart.
+    """
+    return {
+        "node": int(spec.node),
+        "target_label": (
+            None if spec.target_label is None else int(spec.target_label)
+        ),
+        "budget": int(spec.budget),
+    }
+
+
+def victim_key(cell_cfg, spec):
+    """Content key of one (cell, victim) attack result."""
+    return content_key({"cell": cell_cfg, "victim": victim_dict(spec)})

@@ -1,0 +1,93 @@
+"""Matrix reports over an :class:`~repro.arena.runner.ArenaRun`.
+
+Three attack × defense matrices tell the paper's joint-attack story:
+
+* **evasion rate** — the fraction of victims still misclassified under
+  each defense (against ``NoDefense`` this is plain ASR).
+* **inspection evasion rate** — of the victims an attack actually
+  flipped, how many slip past the defense unflagged.  This is the paper's
+  central claim rendered as a matrix: GEAttack's ``explainer`` column
+  should sit well above FGA's and Nettack's at matched budgets, because
+  its edges hide below the inspection window.
+* **detection AUC** — how well each defense's suspicion flags separate
+  attacked victims from the same victims on the clean graph (chance is
+  0.5; lower = the attack evades that detector).
+
+Rendering is deterministic: cells aggregate with NaN-aware means, floats
+format at fixed precision, and rows/columns follow the grid's declared
+order — so a warm-store resume reproduces the matrix byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import finite_mean, format_table
+
+__all__ = ["matrix_cells", "arena_matrix", "render_arena_matrices"]
+
+
+def matrix_cells(run, attack, defense):
+    """All evaluations of one (attack, defense) pair across the grid."""
+    return [
+        evaluation
+        for evaluation in run.evaluations
+        if evaluation.cell.attack == attack and evaluation.defense == defense
+    ]
+
+
+def arena_matrix(run, metric):
+    """``{attack: {defense: mean metric}}`` over datasets/budgets/seeds."""
+    return {
+        attack: {
+            defense: finite_mean(
+                getattr(evaluation, metric)
+                for evaluation in matrix_cells(run, attack, defense)
+            )
+            for defense in run.grid.defenses
+        }
+        for attack in run.grid.attacks
+    }
+
+
+def _format_matrix(run, metric, title):
+    values = arena_matrix(run, metric)
+    rows = []
+    for attack in run.grid.attacks:
+        row = [attack]
+        for defense in run.grid.defenses:
+            value = values[attack][defense]
+            row.append("-" if np.isnan(value) else f"{value:.3f}")
+        rows.append(row)
+    return format_table(["Attack"] + list(run.grid.defenses), rows, title=title)
+
+
+def render_arena_matrices(run):
+    """Both matrices as one deterministic text block."""
+    grid = run.grid
+    scope = (
+        f"datasets={','.join(grid.datasets)} "
+        f"hidden={','.join(str(h) for h in grid.hidden_dims)} "
+        f"budgets={','.join(str(b) for b in grid.budget_caps)} "
+        f"seeds={','.join(str(s) for s in grid.seeds)}"
+    )
+    return "\n\n".join(
+        [
+            _format_matrix(
+                run,
+                "evasion_rate",
+                f"Evasion rate (victims still misclassified under defense) — {scope}",
+            ),
+            _format_matrix(
+                run,
+                "inspection_evasion_rate",
+                "Inspection evasion rate (attacked victims the defense fails "
+                f"to flag) — {scope}",
+            ),
+            _format_matrix(
+                run,
+                "detection_auc",
+                f"Detection AUC (defense flags, attacked vs clean) — {scope}",
+            ),
+        ]
+    )

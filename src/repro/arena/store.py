@@ -1,0 +1,81 @@
+"""Content-addressed on-disk result store for arena cells.
+
+One JSON file per result, at ``root/<key[:2]>/<key>.json`` (two-level
+fan-out keeps directories small on big sweeps).  Keys are the canonical
+content hashes of :func:`repro.arena.grid.victim_key`; payloads are
+:meth:`repro.attacks.AttackResult.to_dict` records wrapped with their cell
+metadata.
+
+Writes are atomic (temp file + ``os.replace``), so a killed run leaves
+either a complete record or nothing — never a torn file — which is what
+makes ``--resume`` after a mid-sweep kill safe without any journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.arena.grid import canonical_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """A directory of content-addressed JSON records."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def path(self, key):
+        """Where a record with this content key lives."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key):
+        return self.path(key).is_file()
+
+    def get(self, key):
+        """The stored payload, or ``None`` when absent."""
+        path = self.path(key)
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def put(self, key, payload):
+        """Atomically persist ``payload`` under ``key``.
+
+        The temp name embeds the pid so concurrent writers (process-pool
+        workers, parallel sweeps sharing a store) never clobber each
+        other's temp files; last ``os.replace`` wins, and since keys are
+        content hashes of the full config, racing writers are writing the
+        same record anyway.
+        """
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temp.write_text(canonical_json(payload), encoding="utf-8")
+        os.replace(temp, path)
+
+    def keys(self):
+        """All stored content keys (unordered)."""
+        if not self.root.is_dir():
+            return []
+        return [
+            entry.stem
+            for shard in sorted(self.root.iterdir())
+            if shard.is_dir()
+            for entry in sorted(shard.glob("*.json"))
+        ]
+
+    def __len__(self):
+        return len(self.keys())
+
+    def clear(self):
+        """Delete every stored record and orphaned temp file (``--fresh``)."""
+        for key in self.keys():
+            self.path(key).unlink()
+        if self.root.is_dir():
+            # Temp files survive only when a writer was killed mid-put.
+            for orphan in self.root.glob("*/.*.tmp"):
+                orphan.unlink()

@@ -80,6 +80,85 @@ class AttackResult:
             and self.final_prediction == self.target_label
         )
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self):
+        """JSON-safe dict with an *exact* round-trip through ``from_dict``.
+
+        Exactness is load-bearing for the arena's content-addressed store:
+        a matrix rendered from stored results must be byte-identical to one
+        rendered from live results.  Edge tuples become 2-lists (JSON has
+        no tuples), ``score_trace`` arrays become plain lists — ``float``
+        on an IEEE-754 double serializes via shortest-round-trip ``repr``,
+        so every bit survives ``json.dumps``/``loads`` — and ``history``
+        keeps the ``(tag, edge)`` convention of DICE/Metattack.  The
+        perturbed graph itself is *not* stored: it is reproducible from the
+        base graph plus the recorded edge operations (see ``from_dict``).
+        """
+        return {
+            "target_node": int(self.target_node),
+            "target_label": (
+                None if self.target_label is None else int(self.target_label)
+            ),
+            "original_prediction": int(self.original_prediction),
+            "final_prediction": int(self.final_prediction),
+            "added_edges": [[int(u), int(v)] for u, v in self.added_edges],
+            "history": [
+                [str(tag), [int(u), int(v)]] for tag, (u, v) in self.history
+            ],
+            "score_trace": [
+                {
+                    "choice": int(step["choice"]),
+                    "candidates": [int(c) for c in step["candidates"]],
+                    "scores": [float(s) for s in step["scores"]],
+                }
+                for step in self.score_trace
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data, graph=None):
+        """Rebuild an :class:`AttackResult` from :meth:`to_dict` output.
+
+        When ``graph`` (the clean base graph) is given, the perturbed graph
+        is reconstructed by replaying the recorded operations: ``history``
+        removals first (DICE/Metattack drop edges), then the added edges —
+        yielding a graph with exactly the stored edge set.  Without a
+        ``graph`` the perturbed graph is ``None`` (metrics-only use).
+        """
+        added = [edge_tuple(u, v) for u, v in data["added_edges"]]
+        history = [
+            (tag, edge_tuple(u, v)) for tag, (u, v) in data.get("history", [])
+        ]
+        perturbed = None
+        if graph is not None:
+            removed = [edge for tag, edge in history if tag == "removed"]
+            perturbed = graph
+            if removed:
+                perturbed = perturbed.with_edges_removed(removed)
+            if added:
+                perturbed = perturbed.with_edges_added(added)
+        return cls(
+            perturbed_graph=perturbed,
+            added_edges=added,
+            target_node=int(data["target_node"]),
+            target_label=(
+                None
+                if data["target_label"] is None
+                else int(data["target_label"])
+            ),
+            original_prediction=int(data["original_prediction"]),
+            final_prediction=int(data["final_prediction"]),
+            history=history,
+            score_trace=[
+                {
+                    "choice": int(step["choice"]),
+                    "candidates": np.asarray(step["candidates"], dtype=np.int64),
+                    "scores": np.asarray(step["scores"], dtype=np.float64),
+                }
+                for step in data.get("score_trace", [])
+            ],
+        )
+
 
 @dataclass(frozen=True)
 class VictimSpec:

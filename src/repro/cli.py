@@ -10,6 +10,7 @@ Examples::
     python -m repro fig6 --dataset acm
     python -m repro feature-attack --dataset citeseer
     python -m repro inspector-zoo --dataset cora
+    python -m repro arena --store arena-store --resume
 """
 
 from __future__ import annotations
@@ -83,6 +84,50 @@ def build_parser():
     with_dataset(
         "inspector-zoo",
         "extension: detection across GNNExplainer/gradient/occlusion inspectors",
+    )
+    arena = sub.add_parser(
+        "arena",
+        help="attack × defense robustness matrix with a resumable result store",
+    )
+    arena.add_argument(
+        "--dataset",
+        action="append",
+        choices=["citeseer", "cora", "acm"],
+        help="dataset axis (repeatable; default: cora)",
+    )
+    arena.add_argument(
+        "--attacks",
+        default="FGA-T,Nettack,GEAttack",
+        help="comma-separated attack axis (registry names)",
+    )
+    arena.add_argument(
+        "--defenses",
+        default="none,jaccard,svd,explainer",
+        help="comma-separated defense axis (registry names)",
+    )
+    arena.add_argument(
+        "--budgets",
+        default="3",
+        help="comma-separated per-victim budget caps",
+    )
+    arena.add_argument(
+        "--seeds", default="0", help="comma-separated seed axis"
+    )
+    arena.add_argument(
+        "--store",
+        default="arena-store",
+        help="result-store directory (content-addressed per-victim records)",
+    )
+    arena.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed results from the store (the default behavior; "
+        "the flag documents intent in scripts)",
+    )
+    arena.add_argument(
+        "--fresh",
+        action="store_true",
+        help="clear the store before running (re-executes everything)",
     )
     return parser
 
@@ -223,7 +268,35 @@ def main(argv=None):
         _feature_attack(args.dataset, config, jobs=args.jobs)
     elif args.command == "inspector-zoo":
         _inspector_zoo(args.dataset, config, jobs=args.jobs)
+    elif args.command == "arena":
+        _arena(args, config)
     return 0
+
+
+def _arena(args, config):
+    """Run (or resume) the attack × defense robustness arena."""
+    from repro.arena import (
+        ResultStore,
+        ScenarioGrid,
+        render_arena_matrices,
+        run_arena,
+    )
+
+    grid = ScenarioGrid(
+        datasets=tuple(args.dataset or ("cora",)),
+        attacks=tuple(args.attacks.split(",")),
+        defenses=tuple(args.defenses.split(",")),
+        budget_caps=tuple(int(b) for b in args.budgets.split(",")),
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+    )
+    store = ResultStore(args.store)
+    if args.fresh:
+        store.clear()
+    run = run_arena(grid, store, config=config, jobs=args.jobs, progress=print)
+    print()
+    print(render_arena_matrices(run))
+    print()
+    print(run.stats_line())
 
 
 def _feature_attack(dataset, config, jobs=1):

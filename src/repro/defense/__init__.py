@@ -6,17 +6,52 @@ ones GEAttack's explainer-evasion does and does not bypass:
 * explanation-based inspection (paper Section 3) — :class:`ExplainerDefense`
 * feature-similarity filtering (GCN-Jaccard) — :class:`JaccardDefense`
 * spectral purification (GCN-SVD) — :class:`SVDDefense`
+
+All of them implement the shared :class:`Defense` protocol
+(``preprocess(graph)`` / ``flag(graph, node)`` / defended ``predict``) and
+are registered in :data:`DEFENSES` next to the identity
+:class:`NoDefense` — so the robustness arena (:mod:`repro.arena`)
+enumerates defenses exactly the way the differential harness enumerates
+:data:`repro.attacks.ATTACKS`.
 """
 
+from repro.defense.base import Defense, NoDefense
 from repro.defense.inspector import ExplainerDefense, InspectionOutcome
 from repro.defense.jaccard import JaccardDefense, jaccard_similarity
 from repro.defense.svd import SVDDefense, low_rank_adjacency
 
+#: Registry keyed by each defense's ``name`` attribute.  Registering a new
+#: :class:`Defense` subclass here is enough to put it on the arena's
+#: defense axis (and under the registry conformance tests).
+DEFENSES = {
+    cls.name: cls
+    for cls in (NoDefense, JaccardDefense, SVDDefense, ExplainerDefense)
+}
+
+
+def make_defense(name, model, explainer_factory=None, **kwargs):
+    """Instantiate a defense from the registry by name.
+
+    ``explainer_factory`` (``callable(graph) -> explainer``) is forwarded
+    to defenses that inspect explanations; other defenses ignore it.
+    Remaining keyword arguments go to the defense constructor.
+    """
+    if name not in DEFENSES:
+        raise KeyError(f"unknown defense {name!r}; options: {sorted(DEFENSES)}")
+    return DEFENSES[name].build(
+        model, explainer_factory=explainer_factory, **kwargs
+    )
+
+
 __all__ = [
+    "DEFENSES",
+    "Defense",
     "ExplainerDefense",
     "InspectionOutcome",
     "JaccardDefense",
+    "NoDefense",
     "SVDDefense",
     "jaccard_similarity",
     "low_rank_adjacency",
+    "make_defense",
 ]

@@ -1,0 +1,100 @@
+"""The shared :class:`Defense` protocol and the identity :class:`NoDefense`.
+
+Every defense in this package answers the same two questions the arena's
+attack × defense matrix asks:
+
+* ``preprocess(graph)`` — a graph-level sanitization pass: return the graph
+  the defended model should actually evaluate (identity when the defense
+  does not rewrite structure).
+* ``flag(graph, node)`` — a per-node suspicion score in ``[0, 1]``: how
+  strongly this defense believes the node's neighborhood has been tampered
+  with.  Scores feed the detection-AUC metric (attacked vs clean victims).
+
+``predict(graph, node)`` ties the two together as the *defended
+prediction*: the frozen model evaluated on the preprocessed graph (per-node
+defenses like :class:`~repro.defense.inspector.ExplainerDefense` override
+it with their own inspect-and-prune protocol).  An attack *evades* a
+defense when the defended prediction is still wrong.
+
+Defenses mirror the attacks' registration contract
+(:data:`repro.attacks.ATTACKS`): subclass :class:`Defense`, register in
+:data:`repro.defense.DEFENSES`, and the arena — like the differential
+harness for attacks — enumerates the new defense automatically.
+"""
+
+from __future__ import annotations
+
+from repro.graph.utils import graph_cached
+
+__all__ = ["Defense", "NoDefense"]
+
+
+class Defense:
+    """Base class: a (frozen) model plus the preprocess/flag protocol.
+
+    Parameters
+    ----------
+    model:
+        The trained GCN whose predictions are being defended.  Optional for
+        defenses whose sanitization needs no model (e.g. Jaccard filtering),
+        but required for :meth:`predict`.
+    """
+
+    name = "base"
+    #: Whether :meth:`build` needs an ``explainer_factory``.
+    requires_explainer = False
+
+    def __init__(self, model=None):
+        self.model = model
+
+    @classmethod
+    def build(cls, model, explainer_factory=None, **kwargs):
+        """Uniform constructor used by :func:`repro.defense.make_defense`.
+
+        Subclasses with non-standard signatures (keyword-first thresholds,
+        mandatory explainer factories) override this so the registry can
+        instantiate every defense the same way.
+        """
+        return cls(model, **kwargs)
+
+    # -- protocol -----------------------------------------------------------
+    def preprocess(self, graph):
+        """Sanitized graph the defended model evaluates (default: identity)."""
+        return graph
+
+    def flag(self, graph, node):
+        """Suspicion score in ``[0, 1]`` for ``node``'s neighborhood."""
+        return 0.0
+
+    # -- derived ------------------------------------------------------------
+    def predict(self, graph, node=None):
+        """Defended prediction: the model on the preprocessed graph.
+
+        Memoized per graph (immutable by convention), so flagging and
+        predicting over a victim set preprocesses each graph once.
+        """
+        from repro.attacks.base import Attack
+
+        return Attack(self.model).predict(self.preprocessed(graph), node)
+
+    def preprocessed(self, graph):
+        """Graph-cached :meth:`preprocess` (one sanitization per graph)."""
+        # Pin self in the cached value so the id key can never be reused by
+        # a different defense instance while this entry is alive.
+        _, cleaned = graph_cached(
+            graph,
+            ("defense-preprocess", id(self)),
+            lambda: (self, self.preprocess(graph)),
+        )
+        return cleaned
+
+
+class NoDefense(Defense):
+    """The identity defense: the undefended model, suspicious of nothing.
+
+    The arena's control column — every attack's evasion rate against
+    ``NoDefense`` is its plain ASR, and its detection AUC is 0.5 by
+    construction (all flags tie at zero).
+    """
+
+    name = "none"

@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.graph.utils import edge_tuple
+from repro.defense.base import Defense
+from repro.graph.utils import edge_tuple, graph_cached
 
 __all__ = ["InspectionOutcome", "ExplainerDefense"]
 
@@ -43,7 +44,7 @@ class InspectionOutcome:
         return self.prediction_before != self.prediction_after
 
 
-class ExplainerDefense:
+class ExplainerDefense(Defense):
     """Prune the explainer's top-ranked *untrusted* edges around a node.
 
     Parameters
@@ -57,17 +58,46 @@ class ExplainerDefense:
     trusted_edges:
         Optional iterable of edges known to be legitimate (e.g. a pre-attack
         snapshot); those are never pruned.
+    inspection_window:
+        When set, the inspector only examines the explanation's top-``L``
+        edges (the paper's explanation size): untrusted edges ranked below
+        the window are *invisible* to the defense.  This is exactly the
+        blind spot GEAttack aims for — its edges evade the window while
+        gradient attacks' edges rank inside it.  ``None`` (default)
+        inspects the full ranking.
     """
 
-    def __init__(self, model, explainer_factory, prune_k=3, trusted_edges=None):
-        self.model = model
+    name = "explainer"
+    requires_explainer = True
+
+    def __init__(
+        self,
+        model,
+        explainer_factory,
+        prune_k=3,
+        trusted_edges=None,
+        inspection_window=None,
+    ):
+        super().__init__(model)
         self.explainer_factory = explainer_factory
         self.prune_k = int(prune_k)
+        self.inspection_window = (
+            None if inspection_window is None else int(inspection_window)
+        )
         self.trusted = (
             {edge_tuple(u, v) for u, v in trusted_edges}
             if trusted_edges is not None
             else None
         )
+
+    @classmethod
+    def build(cls, model, explainer_factory=None, **kwargs):
+        if explainer_factory is None:
+            raise ValueError(
+                "ExplainerDefense needs an explainer_factory "
+                "(callable(graph) -> explainer)"
+            )
+        return cls(model, explainer_factory, **kwargs)
 
     def inspect(self, graph, node, adversarial_edges=()):
         """Inspect ``node`` on ``graph`` and prune suspicious edges.
@@ -81,11 +111,21 @@ class ExplainerDefense:
         node = int(node)
         helper = Attack(self.model)
         before = helper.predict(graph, node)
+        if self.trusted is not None and graph.edge_set() <= self.trusted:
+            # Every edge is vouched for — no candidate could survive the
+            # exemption, so skip the (expensive) explainer run entirely.
+            # This is the clean-graph fast path of the arena's flag scan.
+            return InspectionOutcome(
+                node=node, prediction_before=before, prediction_after=before
+            )
         explainer = self.explainer_factory(graph)
         explanation = explainer.explain_node(graph, node)
+        ranked = explanation.ranking()
+        if self.inspection_window is not None:
+            ranked = ranked[: self.inspection_window]
         candidates = [
             edge
-            for edge in explanation.ranking()
+            for edge in ranked
             if self.trusted is None or edge_tuple(*edge) not in self.trusted
         ]
         to_prune = candidates[: self.prune_k]
@@ -101,6 +141,35 @@ class ExplainerDefense:
                 edge for edge in to_prune if edge_tuple(*edge) in adversarial
             ],
         )
+
+    # -- Defense protocol ---------------------------------------------------
+    def predict(self, graph, node=None):
+        """Per-node defended prediction: the post-pruning one.
+
+        Without a node this defense has no graph-level pass, so it falls
+        back to the undefended model (identity :meth:`preprocess`).
+        """
+        if node is None:
+            return super().predict(graph)
+        return self._cached_inspect(graph, node).prediction_after
+
+    def flag(self, graph, node):
+        """1.0 when pruning the top-``k`` flips the prediction, else 0.0.
+
+        A load-bearing untrusted top-``k`` is the paper's Section-3 signal
+        that the prediction was manufactured; explainer-evading attacks
+        keep their edges out of the top-``k``, so their victims score 0.
+        """
+        return float(self._cached_inspect(graph, node).prediction_changed)
+
+    def _cached_inspect(self, graph, node):
+        """One :meth:`inspect` per (graph, node) — predict/flag share it."""
+        _, outcome = graph_cached(
+            graph,
+            ("explainer-inspect", id(self), int(node)),
+            lambda: (self, self.inspect(graph, node)),  # pin the instance
+        )
+        return outcome
 
     def recovery_rate(self, graph, attack_results, true_labels):
         """Fraction of attacked victims whose true label is restored.

@@ -17,6 +17,9 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.defense.base import Defense
+from repro.graph.utils import edge_tuple, graph_cached
+
 __all__ = ["jaccard_similarity", "JaccardDefense"]
 
 
@@ -29,7 +32,7 @@ def jaccard_similarity(features_u, features_v, eps=1e-12):
     return float(intersection) / float(union + eps)
 
 
-class JaccardDefense:
+class JaccardDefense(Defense):
     """Drop edges between feature-dissimilar endpoints before training.
 
     Parameters
@@ -40,11 +43,20 @@ class JaccardDefense:
     binarize:
         Treat features as sets via ``> 0`` (bag-of-words datasets are
         already binary; continuous features are thresholded).
+    model:
+        Optional frozen GCN; only needed for defended :meth:`predict`.
     """
 
-    def __init__(self, threshold=0.01, binarize=True):
+    name = "jaccard"
+
+    def __init__(self, threshold=0.01, binarize=True, model=None):
+        super().__init__(model)
         self.threshold = float(threshold)
         self.binarize = bool(binarize)
+
+    @classmethod
+    def build(cls, model, explainer_factory=None, **kwargs):
+        return cls(model=model, **kwargs)
 
     def edge_scores(self, graph):
         """Jaccard similarity per undirected edge, aligned with the list."""
@@ -57,7 +69,21 @@ class JaccardDefense:
         return edges, scores
 
     def sanitize(self, graph):
-        """Return ``(cleaned_graph, dropped_edges)``."""
+        """Return ``(cleaned_graph, dropped_edges)``, memoized per graph.
+
+        One sanitization pass serves every protocol entry point: the
+        cleaned graph backs :meth:`preprocess`/:meth:`predict` and the
+        dropped set backs :meth:`flag`.
+        """
+        _, cleaned, dropped = graph_cached(
+            graph,
+            ("jaccard-sanitize", id(self)),
+            # Pin the instance so the id key stays unique while cached.
+            lambda: (self, *self._sanitize(graph)),
+        )
+        return cleaned, dropped
+
+    def _sanitize(self, graph):
         edges, scores = self.edge_scores(graph)
         dropped = [
             (int(u), int(v))
@@ -67,10 +93,25 @@ class JaccardDefense:
         cleaned = graph.with_edges_removed(dropped) if dropped else graph
         return cleaned, dropped
 
+    # -- Defense protocol ---------------------------------------------------
+    def preprocess(self, graph):
+        """Sanitization as the protocol's graph-level pass."""
+        return self.sanitize(graph)[0]
+
+    def flag(self, graph, node):
+        """Fraction of ``node``'s incident edges sanitization would drop."""
+        dropped = {edge_tuple(u, v) for u, v in self.sanitize(graph)[1]}
+        node = int(node)
+        neighbors = graph.neighbors(node)
+        if neighbors.size == 0:
+            return 0.0
+        hits = sum(
+            1 for other in neighbors if edge_tuple(node, other) in dropped
+        )
+        return hits / float(neighbors.size)
+
     def filtered_fraction(self, graph, suspicious_edges):
         """Fraction of the given edges that sanitization would remove."""
-        from repro.graph.utils import edge_tuple
-
         suspicious = {edge_tuple(u, v) for u, v in suspicious_edges}
         if not suspicious:
             return float("nan")

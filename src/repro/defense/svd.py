@@ -22,7 +22,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.autodiff.tensor import Tensor, no_grad
-from repro.graph.utils import normalize_adjacency
+from repro.defense.base import Defense
+from repro.graph.utils import graph_cached, normalize_adjacency
 
 __all__ = ["SVDDefense", "low_rank_adjacency"]
 
@@ -47,7 +48,7 @@ def low_rank_adjacency(adjacency, rank):
     return (reconstruction + reconstruction.T) / 2.0
 
 
-class SVDDefense:
+class SVDDefense(Defense):
     """Evaluate a trained GCN on the low-rank purified adjacency.
 
     Parameters
@@ -57,24 +58,55 @@ class SVDDefense:
     rank:
         Truncation rank ``k`` (reference values 5-50; higher ranks keep
         more detail *and* more perturbation).
+    energy_threshold:
+        Edges reconstructing below this weight are treated as
+        high-frequency (suspicious) by :meth:`preprocess`/:meth:`flag`.
     """
 
-    def __init__(self, model, rank=10):
-        self.model = model
+    name = "svd"
+
+    def __init__(self, model, rank=10, energy_threshold=0.1):
+        super().__init__(model)
         self.rank = int(rank)
+        self.energy_threshold = float(energy_threshold)
 
     def purified_operator(self, graph):
         """The normalized low-rank adjacency the defended GCN runs on."""
-        purified = low_rank_adjacency(graph.adjacency, self.rank)
+        purified = self._low_rank(graph)
         return normalize_adjacency(sp.csr_matrix(purified))
 
     def predict(self, graph, node=None):
-        """Model predictions under the purified operator."""
+        """Model predictions under the purified operator.
+
+        Overrides the protocol default: GCN-SVD evaluates on the *soft*
+        reconstruction itself, not on a re-binarized graph.
+        """
         operator = self.purified_operator(graph)
         with no_grad():
             logits = self.model(operator, Tensor(graph.features))
         predictions = logits.data.argmax(axis=1)
         return int(predictions[int(node)]) if node is not None else predictions
+
+    # -- Defense protocol ---------------------------------------------------
+    def preprocess(self, graph):
+        """Structural variant: drop edges with low reconstruction energy."""
+        purified = self._low_rank(graph)
+        dropped = [
+            (u, v)
+            for u, v in sorted(graph.edge_set())
+            if purified[u, v] < self.energy_threshold
+        ]
+        return graph.with_edges_removed(dropped) if dropped else graph
+
+    def flag(self, graph, node):
+        """One minus the mean reconstruction energy of incident edges."""
+        node = int(node)
+        neighbors = graph.neighbors(node)
+        if neighbors.size == 0:
+            return 0.0
+        purified = self._low_rank(graph)
+        energy = float(np.mean(purified[node, neighbors]))
+        return float(np.clip(1.0 - energy, 0.0, 1.0))
 
     def edge_energy(self, graph, edges):
         """Low-rank reconstruction weight of specific edges.
@@ -83,8 +115,16 @@ class SVDDefense:
         high-frequency edges reconstruct near zero.  Useful as a spectral
         suspicion score.
         """
-        purified = low_rank_adjacency(graph.adjacency, self.rank)
+        purified = self._low_rank(graph)
         return np.array([purified[int(u), int(v)] for u, v in edges])
+
+    def _low_rank(self, graph):
+        """Rank-``k`` reconstruction, memoized per graph (keyed by rank)."""
+        return graph_cached(
+            graph,
+            ("svd-low-rank", self.rank),
+            lambda: low_rank_adjacency(graph.adjacency, self.rank),
+        )
 
     def recovery_rate(self, attack_results, true_labels):
         """Fraction of attacked victims whose true label the defense restores."""

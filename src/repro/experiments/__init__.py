@@ -20,6 +20,7 @@ from repro.experiments.preliminary import (
     preliminary_inspection_study,
 )
 from repro.experiments.reporting import (
+    finite_mean,
     format_comparison_table,
     format_mean_std,
     format_series,
@@ -58,6 +59,7 @@ __all__ = [
     "select_victims",
     "DegreeBinResult",
     "preliminary_inspection_study",
+    "finite_mean",
     "format_comparison_table",
     "format_mean_std",
     "format_series",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "finite_mean",
     "mean_of_finite",
     "summarize_reports",
     "format_mean_std",
@@ -19,16 +20,20 @@ __all__ = [
 DETECTION_KEYS = ("precision", "recall", "f1", "ndcg")
 
 
-def mean_of_finite(reports, key):
-    """NaN-aware mean of ``reports[i][key]`` (NaN when nothing is finite).
+def finite_mean(values):
+    """NaN-aware mean of raw values (NaN when nothing is finite).
 
-    The single aggregation rule of the whole pipeline: victims whose
-    inspection produced a NaN metric (e.g. no ranked edges at the cut-off)
-    are excluded from that metric's average, matching the paper's
-    convention of reporting "-" for undefined cells.
+    The single aggregation rule of the whole pipeline — undefined entries
+    (NaN metrics, empty cells) are dropped from the average, matching the
+    paper's convention of reporting "-" for undefined cells.
     """
-    values = [report[key] for report in reports if not np.isnan(report[key])]
-    return float(np.mean(values)) if values else float("nan")
+    finite = [value for value in values if not np.isnan(value)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def mean_of_finite(reports, key):
+    """:func:`finite_mean` over ``reports[i][key]``."""
+    return finite_mean(report[key] for report in reports)
 
 
 def summarize_reports(reports, keys=DETECTION_KEYS):

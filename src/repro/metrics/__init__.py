@@ -6,6 +6,7 @@ from repro.metrics.attack_metrics import (
     prediction_margin,
 )
 from repro.metrics.detection import (
+    binary_auc,
     detection_report,
     f1_at_k,
     feature_detection_report,
@@ -21,6 +22,7 @@ from repro.metrics.detection import (
 __all__ = [
     "attack_success_rate",
     "attack_success_rate_targeted",
+    "binary_auc",
     "detection_report",
     "f1_at_k",
     "feature_detection_report",

@@ -21,6 +21,7 @@ __all__ = [
     "recall_at_k",
     "f1_at_k",
     "ndcg_at_k",
+    "binary_auc",
     "detection_report",
     "ranked_precision_at_k",
     "ranked_recall_at_k",
@@ -79,6 +80,35 @@ def ranked_ndcg_at_k(ranked_items, relevant_items, k):
     ideal_hits = min(len(relevant), k)
     ideal = float(np.sum(1.0 / np.log2(np.arange(2, ideal_hits + 2))))
     return dcg / ideal if ideal > 0 else float("nan")
+
+
+# -- score-based detection (the arena's defense-flag protocol) ---------------
+def binary_auc(scores, labels):
+    """ROC AUC of suspicion scores against binary attacked/clean labels.
+
+    Mann-Whitney formulation with average ranks, so ties are handled
+    exactly (a constant scorer — e.g. ``NoDefense`` flagging everything
+    0.0 — gets the chance level 0.5, not an error).
+
+    Degenerate inputs return *defined* values instead of raising, matching
+    the library's "undefined cell" convention (``mean_of_finite`` drops
+    them): an empty flag set, or labels containing a single class, yield
+    ``nan``.
+    """
+    from scipy.stats import rankdata
+
+    scores = np.asarray(list(scores), dtype=np.float64)
+    labels = np.asarray(list(labels), dtype=bool)
+    if scores.shape[0] != labels.shape[0]:
+        raise ValueError("scores and labels must align")
+    positives = int(labels.sum())
+    negatives = int(labels.size - positives)
+    if positives == 0 or negatives == 0:
+        return float("nan")
+    rank_sum = float(rankdata(scores)[labels].sum())  # average ranks on ties
+    return (rank_sum - positives * (positives + 1) / 2.0) / (
+        positives * negatives
+    )
 
 
 # -- edge-ranking wrappers (the paper's inspector protocol) ------------------

@@ -1,0 +1,130 @@
+"""Arena resume semantics: kill the store mid-way, resume, match bytes.
+
+The ISSUE-level contract: after any interruption, ``run_arena`` against
+the same store re-executes *only* the missing victims and renders a matrix
+byte-identical to an uninterrupted run — at ``jobs=1`` and ``jobs=4``.
+
+The grid deliberately includes DICE so resume also exercises the
+history-replay path (edge *removals* reconstructed from the store), not
+just added edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arena import (
+    ResultStore,
+    ScenarioGrid,
+    render_arena_matrices,
+    run_arena,
+)
+from repro.experiments import SCALE_PRESETS
+
+#: Trimmed to seconds: tiny model, three victims, cheap defenses.
+CONFIG = replace(
+    SCALE_PRESETS["smoke"],
+    epochs=60,
+    num_victims=3,
+    margin_group=1,
+    explainer_epochs=20,
+    geattack_inner_steps=2,
+)
+
+GRID = ScenarioGrid(
+    attacks=("FGA-T", "DICE"),
+    defenses=("none", "jaccard"),
+    budget_caps=(2,),
+    seeds=(0,),
+)
+
+
+def replace_grid(**overrides):
+    return ScenarioGrid(**{**GRID.__dict__, **overrides})
+
+
+@pytest.fixture(scope="module")
+def shared_cases():
+    """Trained models shared across every run in this module."""
+    return {}
+
+
+@pytest.fixture(scope="module")
+def cold(tmp_path_factory, shared_cases):
+    """One uninterrupted cold run: the reference store and matrix."""
+    store = ResultStore(tmp_path_factory.mktemp("arena") / "store")
+    run = run_arena(GRID, store, config=CONFIG, cases=shared_cases)
+    return store, run, render_arena_matrices(run)
+
+
+class TestResume:
+    def test_cold_run_executes_everything(self, cold):
+        _, run, _ = cold
+        assert run.executed > 0
+        assert run.loaded == 0
+
+    def test_warm_run_executes_zero_attacks(self, cold, shared_cases):
+        store, reference, text = cold
+        warm = run_arena(GRID, store, config=CONFIG, cases=shared_cases)
+        assert warm.executed == 0
+        assert warm.loaded == reference.executed
+        assert render_arena_matrices(warm) == text
+
+    def test_killed_store_resumes_exactly(
+        self, cold, shared_cases, tmp_path
+    ):
+        """Delete half the records (a 'kill'), resume, match bytes."""
+        store, reference, text = cold
+        keys = sorted(store.keys())
+        killed = keys[: len(keys) // 2]
+        for key in killed:
+            store.path(key).unlink()
+        resumed = run_arena(GRID, store, config=CONFIG, cases=shared_cases)
+        assert resumed.executed == len(killed)
+        assert resumed.loaded == len(keys) - len(killed)
+        assert render_arena_matrices(resumed) == text
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_fresh_store_any_jobs_matches_reference(
+        self, cold, shared_cases, tmp_path, jobs
+    ):
+        """A from-scratch run at any pool width reproduces the matrix."""
+        _, reference, text = cold
+        run = run_arena(
+            GRID,
+            ResultStore(tmp_path / f"store-{jobs}"),
+            config=CONFIG,
+            jobs=jobs,
+            cases=shared_cases,
+        )
+        assert run.executed == reference.executed
+        assert render_arena_matrices(run) == text
+
+    def test_store_payloads_are_self_describing(self, cold):
+        store, _, _ = cold
+        payload = store.get(sorted(store.keys())[0])
+        assert payload["schema"] == 1
+        assert {"cell", "victim", "result"} <= set(payload)
+        assert payload["cell"]["attack"]["name"] in GRID.attacks
+
+    def test_axis_typos_fail_before_any_compute(self, tmp_path):
+        """Unknown attack/defense names raise upfront, not mid-sweep."""
+        with pytest.raises(KeyError, match="unknown attack"):
+            run_arena(
+                replace_grid(attacks=("FGA-X",)), tmp_path / "s", config=CONFIG
+            )
+        with pytest.raises(KeyError, match="unknown defense"):
+            run_arena(
+                replace_grid(defenses=("jacard",)), tmp_path / "s", config=CONFIG
+            )
+
+    def test_progress_reports_cache_state(self, cold, shared_cases):
+        store, reference, _ = cold
+        lines = []
+        run_arena(
+            GRID, store, config=CONFIG, cases=shared_cases, progress=lines.append
+        )
+        assert len(lines) == GRID.num_cells
+        assert all("0 executed" in line for line in lines)

@@ -1,0 +1,240 @@
+"""Arena store + serialization: exact round-trips and canonical keys.
+
+The arena's resume guarantee reduces to three properties tested here:
+
+* ``AttackResult.to_dict``/``from_dict`` round-trips *exactly* through
+  JSON (edges stay canonical tuples, score-trace floats keep every bit,
+  history replays DICE-style edge removals);
+* the content-addressed :class:`ResultStore` returns byte-equal payloads;
+* cell/victim keys are canonical — independent of dict ordering, sensitive
+  to every config knob that changes results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+
+from repro.arena import (
+    ResultStore,
+    ScenarioCell,
+    ScenarioGrid,
+    canonical_json,
+    cell_config,
+    content_key,
+    victim_key,
+)
+from repro.attacks import AttackResult, VictimSpec
+from repro.experiments import SCALE_PRESETS
+from repro.graph import Graph
+
+
+def random_attack_result(rng, with_history=False):
+    """A randomized result shaped like real attack output."""
+    num_edges = int(rng.integers(0, 5))
+    added = [
+        tuple(sorted((int(rng.integers(0, 40)), int(rng.integers(40, 80)))))
+        for _ in range(num_edges)
+    ]
+    trace = []
+    for _ in range(int(rng.integers(0, 4))):
+        width = int(rng.integers(1, 7))
+        trace.append(
+            {
+                "choice": int(rng.integers(0, 80)),
+                "candidates": rng.integers(0, 80, size=width).astype(np.int64),
+                # Scale wildly so shortest-repr round-tripping is stressed.
+                "scores": rng.standard_normal(width) * 10.0 ** rng.integers(-8, 8),
+            }
+        )
+    history = []
+    if with_history:
+        history = [
+            ("removed", tuple(sorted((int(rng.integers(0, 40)), int(rng.integers(40, 80))))))
+            for _ in range(int(rng.integers(1, 3)))
+        ]
+    return AttackResult(
+        perturbed_graph=None,
+        added_edges=added,
+        target_node=int(rng.integers(0, 80)),
+        target_label=None if rng.random() < 0.3 else int(rng.integers(0, 5)),
+        original_prediction=int(rng.integers(0, 5)),
+        final_prediction=int(rng.integers(0, 5)),
+        history=history,
+        score_trace=trace,
+    )
+
+
+class TestAttackResultRoundTrip:
+    def test_property_exact_round_trip(self, rng):
+        """50 random results survive to_dict → JSON → from_dict bit-exactly."""
+        for index in range(50):
+            result = random_attack_result(rng, with_history=index % 3 == 0)
+            payload = json.loads(json.dumps(result.to_dict()))
+            back = AttackResult.from_dict(payload)
+            assert back.added_edges == result.added_edges
+            assert all(isinstance(e, tuple) for e in back.added_edges)
+            assert back.target_node == result.target_node
+            assert back.target_label == result.target_label
+            assert back.original_prediction == result.original_prediction
+            assert back.final_prediction == result.final_prediction
+            assert back.misclassified == result.misclassified
+            assert back.hit_target == result.hit_target
+            assert back.history == result.history
+            assert len(back.score_trace) == len(result.score_trace)
+            for step_in, step_out in zip(result.score_trace, back.score_trace):
+                assert step_out["choice"] == step_in["choice"]
+                assert step_out["candidates"].dtype == np.int64
+                assert step_out["scores"].dtype == np.float64
+                assert np.array_equal(step_out["candidates"], step_in["candidates"])
+                # Bit-exact floats (shortest-repr JSON round-trip).
+                assert np.array_equal(step_out["scores"], step_in["scores"])
+
+    def test_perturbed_graph_replay_adds_and_removes(self):
+        """from_dict(graph=...) replays removals before additions."""
+        base = Graph(
+            np.array(
+                [
+                    [0, 1, 1, 0],
+                    [1, 0, 0, 0],
+                    [1, 0, 0, 1],
+                    [0, 0, 1, 0],
+                ]
+            ),
+            np.eye(4),
+            [0, 1, 0, 1],
+        )
+        result = AttackResult(
+            perturbed_graph=None,
+            added_edges=[(1, 3)],
+            target_node=1,
+            target_label=0,
+            original_prediction=1,
+            final_prediction=0,
+            history=[("removed", (0, 2))],
+        )
+        back = AttackResult.from_dict(
+            json.loads(json.dumps(result.to_dict())), graph=base
+        )
+        assert back.perturbed_graph.edge_set() == {(0, 1), (1, 3), (2, 3)}
+        # The base graph is untouched (immutability convention).
+        assert base.edge_set() == {(0, 1), (0, 2), (2, 3)}
+
+    def test_without_graph_perturbed_is_none(self):
+        result = random_attack_result(np.random.default_rng(3))
+        assert AttackResult.from_dict(result.to_dict()).perturbed_graph is None
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"probe": 1})
+        payload = {"result": {"x": [1.5, -2.25e-30]}, "schema": 1}
+        assert key not in store
+        assert store.get(key) is None
+        store.put(key, payload)
+        assert key in store
+        assert store.get(key) == payload
+
+    def test_sharded_layout_and_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(8)]
+        for key in keys:
+            store.put(key, {"i": key})
+        assert len(store) == 8
+        assert sorted(store.keys()) == sorted(keys)
+        for key in keys:
+            assert store.path(key).parent.name == key[:2]
+
+    def test_overwrite_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"again": True})
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 1})
+        assert len(store) == 1
+        assert store.get(key) == {"v": 1}
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(content_key({"a": 1}), {})
+        store.put(content_key({"b": 2}), {})
+        store.clear()
+        assert len(store) == 0
+
+    def test_clear_removes_orphaned_temp_files(self, tmp_path):
+        """A writer killed mid-put leaves a .tmp; --fresh must remove it."""
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"kill": 1})
+        store.put(key, {})
+        orphan = store.path(key).with_name(f".{key}.json.999.tmp")
+        orphan.write_text("{}")
+        store.clear()
+        assert not orphan.exists()
+        assert len(store) == 0
+
+    def test_missing_root_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert len(store) == 0
+        assert store.keys() == []
+
+
+class TestCanonicalKeys:
+    def test_content_key_ignores_dict_order(self):
+        assert content_key({"a": 1, "b": [2.5, 3]}) == content_key(
+            {"b": [2.5, 3], "a": 1}
+        )
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_victim_key_sensitive_to_every_axis(self):
+        config = SCALE_PRESETS["smoke"]
+        cell = ScenarioCell("cora", 16, "GEAttack", 3, 0)
+        spec = VictimSpec(5, 1, 3)
+        base = victim_key(cell_config(cell, config), spec)
+        variants = [
+            victim_key(cell_config(cell, config), VictimSpec(6, 1, 3)),
+            victim_key(cell_config(cell, config), VictimSpec(5, 2, 3)),
+            victim_key(cell_config(cell, config), VictimSpec(5, 1, 2)),
+            victim_key(
+                cell_config(ScenarioCell("cora", 16, "Nettack", 3, 0), config),
+                spec,
+            ),
+            victim_key(
+                cell_config(ScenarioCell("cora", 16, "GEAttack", 3, 1), config),
+                spec,
+            ),
+            victim_key(
+                cell_config(ScenarioCell("cora", 32, "GEAttack", 3, 0), config),
+                spec,
+            ),
+            victim_key(
+                cell_config(cell, replace(config, geattack_lam=9.9)), spec
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_attack_params_scoped_to_consumer(self):
+        """Changing GEAttack's λ must not invalidate Nettack cells."""
+        config = SCALE_PRESETS["smoke"]
+        bumped = replace(config, geattack_lam=9.9)
+        nettack = ScenarioCell("cora", 16, "Nettack", 3, 0)
+        spec = VictimSpec(5, 1, 3)
+        assert victim_key(cell_config(nettack, config), spec) == victim_key(
+            cell_config(nettack, bumped), spec
+        )
+
+    def test_grid_enumeration_deterministic(self):
+        grid = ScenarioGrid(
+            datasets=("cora",),
+            attacks=("FGA-T", "GEAttack"),
+            defenses=("none", "jaccard"),
+            budget_caps=(2, 3),
+            seeds=(0, 1),
+        )
+        cells = grid.cells()
+        assert len(cells) == grid.num_cells == 8
+        assert cells == grid.cells()  # stable order
+        assert cells[0] == ScenarioCell("cora", 16, "FGA-T", 2, 0)
