@@ -22,12 +22,8 @@ import argparse
 import shutil
 import time
 
-from repro.arena import (
-    ResultStore,
-    ScenarioGrid,
-    render_arena_matrices,
-    run_arena,
-)
+from repro.api import Session
+from repro.arena import ResultStore, ScenarioGrid, render_arena_matrices
 from repro.experiments import SCALE_PRESETS
 
 
@@ -47,12 +43,13 @@ def main():
         seeds=(0,),
     )
     store = ResultStore(args.store)
-    config = SCALE_PRESETS["smoke"]
+    # One Session owns the trained models and the process pool; both runs
+    # below share its caches.
+    session = Session(config=SCALE_PRESETS["smoke"], jobs=args.jobs)
 
     print(f"== cold run ({grid.num_cells} cells) ==")
-    cases = {}  # share trained models between the two runs
     start = time.perf_counter()
-    cold = run_arena(grid, store, config=config, jobs=args.jobs, cases=cases)
+    cold = session.arena(grid, store)
     cold_text = render_arena_matrices(cold)
     print(f"{cold.stats_line()}  [{time.perf_counter() - start:.1f}s]")
     print()
@@ -60,7 +57,7 @@ def main():
 
     print("\n== warm run (same grid, same store) ==")
     start = time.perf_counter()
-    warm = run_arena(grid, store, config=config, jobs=args.jobs, cases=cases)
+    warm = session.arena(grid, store)
     warm_text = render_arena_matrices(warm)
     print(f"{warm.stats_line()}  [{time.perf_counter() - start:.1f}s]")
     assert warm.executed == 0, "warm store must re-execute nothing"

@@ -2,7 +2,7 @@
 
 Runs the paper's seven attack methods over a victim set on one dataset and
 prints the ASR / ASR-T / detection table — the same layout as Table 1, at a
-configurable scale.
+configurable scale — through the ``repro.api`` front door.
 
 Usage::
 
@@ -11,11 +11,8 @@ Usage::
 
 import argparse
 
-from repro.experiments import (
-    SCALE_PRESETS,
-    format_comparison_table,
-    run_comparison,
-)
+from repro.api import Session
+from repro.experiments import SCALE_PRESETS, format_comparison_table
 
 
 def main():
@@ -28,10 +25,11 @@ def main():
         "--explainer", default="gnn", choices=["gnn", "pg"],
         help="inspector: GNNExplainer (Table 1) or PGExplainer (Table 2)",
     )
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args()
 
-    config = SCALE_PRESETS[args.scale]
-    comparison = run_comparison(args.dataset, config, explainer=args.explainer)
+    session = Session(config=SCALE_PRESETS[args.scale], jobs=args.jobs)
+    comparison = session.table(args.dataset, explainer=args.explainer)
     print(format_comparison_table(comparison))
     print(
         "\nReading guide (paper's claims): FGA-T / Nettack / GEAttack reach "

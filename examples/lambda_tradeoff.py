@@ -11,14 +11,8 @@ Usage::
 
 import argparse
 
-from repro.experiments import (
-    SCALE_PRESETS,
-    derive_target_labels,
-    format_series,
-    lambda_sweep,
-    prepare_case,
-    select_victims,
-)
+from repro.api import Session
+from repro.experiments import SCALE_PRESETS, format_series
 
 
 def main():
@@ -33,16 +27,15 @@ def main():
     )
     args = parser.parse_args()
 
-    config = SCALE_PRESETS["smoke"]
-    case = prepare_case(args.dataset, config)
-    victims = derive_target_labels(case, select_victims(case))
+    session = Session(config=SCALE_PRESETS["smoke"])
+    case, victims = session.prepared(args.dataset)
     if not victims:
         raise SystemExit("no flippable victims; try a different dataset/seed")
     print(
         f"{case.graph} | {len(victims)} victims | "
         f"GCN test accuracy {case.test_accuracy:.3f}\n"
     )
-    points = lambda_sweep(case, victims, lambdas=args.lambdas)
+    points = session.sweep("lambda", args.dataset, values=args.lambdas)
     print(
         format_series(
             "lambda",

@@ -21,11 +21,16 @@ Subpackages
     ASR / ASR-T and Precision/Recall/F1/NDCG @K detection rates.
 ``repro.experiments``
     The harness regenerating every table and figure of the paper.
+``repro.api``
+    The typed Session/Spec façade — the one supported front door for
+    building, executing and streaming experiments (tables, sweeps, the
+    robustness arena).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import (
+    api,
     attacks,
     autodiff,
     datasets,
@@ -37,6 +42,7 @@ from repro import (
 )
 
 __all__ = [
+    "api",
     "attacks",
     "autodiff",
     "datasets",

@@ -1,0 +1,78 @@
+"""Render the generated registry schemas (``python -m repro describe``).
+
+Everything printed here is derived from the registries and the classes'
+declared ``config_params`` — registering a new attack/defense/explainer
+makes it appear with its parameter schema, with no doc to hand-maintain.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.registry import registry_schema
+
+__all__ = ["describe_registries"]
+
+
+def _format_param(row):
+    pieces = [f"{row['name']} <- config.{row['config_key']}"]
+    if "cap" in row:
+        pieces.append(f"(capped at {row['cap']})")
+    if not row["constructor"]:
+        pieces.append("[dependency knob]")
+    if "value" in row:
+        pieces.append(f"= {row['value']!r}")
+    return " ".join(pieces)
+
+
+def _format_section(title, entries, flags):
+    lines = [title, "=" * len(title)]
+    for name, entry in entries.items():
+        badges = [
+            label for attr, label in flags if entry.get(attr)
+        ]
+        suffix = f"  [{', '.join(badges)}]" if badges else ""
+        lines.append(f"{name}  ({entry['class']}){suffix}")
+        for row in entry["params"]:
+            lines.append(f"    {_format_param(row)}")
+        if entry.get("requires"):
+            lines.append(f"    requires: {', '.join(entry['requires'])}")
+        if entry["defaults"]:
+            defaults = ", ".join(
+                f"{key}={value!r}" for key, value in entry["defaults"].items()
+            )
+            lines.append(f"    static defaults: {defaults}")
+        if not entry["params"] and not entry["defaults"]:
+            lines.append("    (no tunable parameters)")
+    return lines
+
+
+def describe_registries(config=None, as_json=False):
+    """Every registered attack/defense/explainer with its param schema.
+
+    With ``as_json`` the raw schema dict is serialized instead of the
+    human-readable listing; ``config`` adds the resolved value of each
+    config-fed knob.
+    """
+    schema = registry_schema(config)
+    if as_json:
+        return json.dumps(schema, indent=2, sort_keys=True, default=repr)
+    lines = []
+    lines += _format_section(
+        "Attacks",
+        schema["attacks"],
+        flags=[("supports_locality", "locality")],
+    )
+    lines.append("")
+    lines += _format_section(
+        "Defenses",
+        schema["defenses"],
+        flags=[("requires_explainer", "needs explainer")],
+    )
+    lines.append("")
+    lines += _format_section(
+        "Explainers",
+        schema["explainers"],
+        flags=[("fitted", "fitted per case")],
+    )
+    return "\n".join(lines)

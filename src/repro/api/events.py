@@ -1,0 +1,117 @@
+"""Typed events streamed by :meth:`repro.api.Session.run`.
+
+Every experiment — table comparison, sweep, arena — executes through one
+front door and narrates itself as a flat stream of frozen event objects:
+coarse milestones (``CasePrepared``, ``MethodStarted``) interleaved with
+one event per victim, closing with a single :class:`RunCompleted` carrying
+the aggregate result object.  Consumers range from progress callbacks
+(print one line per event) to collectors that rebuild the legacy result
+types (``ComparisonResult``, ``SweepPoint`` lists, ``ArenaRun``).
+
+Events are data, not control flow: skipping, filtering or ignoring them
+never changes what the session computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CasePrepared",
+    "MethodStarted",
+    "VictimEvaluated",
+    "MethodEvaluated",
+    "SweepPointEvaluated",
+    "CellExecuted",
+    "VictimAttacked",
+    "CellScored",
+    "RunCompleted",
+]
+
+
+@dataclass(frozen=True)
+class CasePrepared:
+    """A dataset instance is generated and its GCN trained."""
+
+    dataset: str
+    seed: int
+    hidden: int
+    test_accuracy: float
+    num_victims: int
+
+
+@dataclass(frozen=True)
+class MethodStarted:
+    """One attack method begins its per-victim attack→inspect loop."""
+
+    method: str
+    dataset: str
+    num_victims: int
+
+
+@dataclass(frozen=True)
+class VictimEvaluated:
+    """One victim attacked and inspected (the pipeline's unit of work).
+
+    ``result`` is the :class:`~repro.attacks.AttackResult` with its
+    perturbed graph already dropped (pool transfers stay graph-free);
+    ``report`` holds the detection metrics dict; ``ranking`` carries the
+    inspector's full edge ranking when the caller asked to keep it.
+    """
+
+    method: str
+    victim: object  # repro.experiments.Victim
+    result: object  # repro.attacks.AttackResult (perturbed_graph dropped)
+    report: dict
+    index: int
+    total: int
+    ranking: tuple | None = None
+
+
+@dataclass(frozen=True)
+class MethodEvaluated:
+    """One method finished: the aggregated MethodEvaluation."""
+
+    method: str
+    evaluation: object  # repro.experiments.MethodEvaluation
+
+
+@dataclass(frozen=True)
+class SweepPointEvaluated:
+    """One grid value of a sweep aggregated into a SweepPoint."""
+
+    kind: str
+    value: float
+    point: object  # repro.experiments.SweepPoint
+
+
+@dataclass(frozen=True)
+class VictimAttacked:
+    """Arena: one victim's attack result obtained (executed or loaded)."""
+
+    cell: object  # repro.arena.ScenarioCell
+    victim: object  # repro.attacks.VictimSpec
+    loaded: bool  # True: served from the store; False: executed now
+
+
+@dataclass(frozen=True)
+class CellExecuted:
+    """Arena: one execution cell's victims all present in the store."""
+
+    cell: object  # repro.arena.ScenarioCell
+    cached: int
+    executed: int
+
+
+@dataclass(frozen=True)
+class CellScored:
+    """Arena: one (cell × defense) entry of the matrix evaluated."""
+
+    evaluation: object  # repro.arena.CellEvaluation
+
+
+@dataclass(frozen=True)
+class RunCompleted:
+    """Terminal event: the experiment's aggregate result object."""
+
+    result: object

@@ -1,0 +1,369 @@
+"""Self-describing construction recipes over the component registries.
+
+The attack/defense/explainer registries already say *what* exists
+(:data:`repro.attacks.ATTACKS`, :data:`repro.defense.DEFENSES`); the
+classes themselves now declare *how* they are configured
+(``config_params`` tuples of :class:`repro.schema.ConfigParam`).  This
+module closes the loop: it derives typed specs from a config
+(:func:`attack_spec`), instantiates components from specs
+(:func:`build_attack`, :func:`build_defense`,
+:func:`build_explainer_factory`) and exposes the generated parameter
+schemas (:func:`registry_schema`) to ``python -m repro describe``.
+
+Registering a new attack in :mod:`repro.attacks` — with an optional
+``config_params`` declaration — is therefore enough to expose it to the
+table runner, the sweeps, the arena axis, the CLI and the store keys,
+with no hand-maintained ``if name == ...`` ladders anywhere.
+
+Seed conventions (shared by every runner, historically duplicated):
+
+* attacks are built with ``case.seed + SPEC_SEED_OFFSET`` (21);
+* GNNExplainer inspectors with ``case.seed + INSPECTOR_SEED_OFFSET`` (41);
+* PGExplainer fits with ``case.seed + PG_SEED_OFFSET`` (31).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from repro.api.specs import AttackSpec, DefenseSpec, ExplainerSpec, ScenarioSpec
+from repro.api.specs import DatasetSpec, ModelSpec, VictimPolicy
+from repro.attacks import ATTACKS, EXTENSION_ATTACKS, FEATURE_ATTACKS
+from repro.defense import DEFENSES, make_defense
+from repro.explain import (
+    GNNExplainer,
+    GradExplainer,
+    OcclusionExplainer,
+    PGExplainer,
+)
+from repro.schema import ConfigParam, resolve_params, schema_rows
+
+__all__ = [
+    "INSPECTOR_SEED_OFFSET",
+    "PG_SEED_OFFSET",
+    "EXPLAINERS",
+    "attack_class",
+    "attack_spec",
+    "attack_params",
+    "build_attack",
+    "defense_spec",
+    "build_defense",
+    "build_explainer_factory",
+    "fit_pg_explainer",
+    "scenario_spec",
+    "registry_schema",
+]
+
+#: Seed offset of every freshly-constructed GNNExplainer inspector.
+INSPECTOR_SEED_OFFSET = 41
+#: Seed offset of every fitted PGExplainer.
+PG_SEED_OFFSET = 31
+
+
+# -- attacks -----------------------------------------------------------------
+
+
+def _attack_registry():
+    """Full name → class surface (edge attacks first, then features)."""
+    return {**ATTACKS, **EXTENSION_ATTACKS, **FEATURE_ATTACKS}
+
+
+def attack_class(name):
+    """Registered attack class for ``name`` (KeyError lists options)."""
+    registry = _attack_registry()
+    if name not in registry:
+        raise KeyError(
+            f"unknown attack {name!r}; options: {sorted(registry)}"
+        )
+    return registry[name]
+
+
+def attack_spec(name, config):
+    """Typed spec of ``name`` at ``config``'s operating point.
+
+    The spec's params are generated from the class's ``config_params``
+    declaration, so they contain exactly the knobs that determine this
+    attack's results — the scoping property the store keys rely on.
+    """
+    return AttackSpec(name, attack_class(name).spec_params(config))
+
+
+def attack_params(name, config):
+    """The scoped operating-point dict (content-key form) for ``name``."""
+    return attack_class(name).spec_params(config)
+
+
+def build_attack(spec, case, config=None, context=None, seed=None):
+    """Instantiate an attack from a spec (or name) for a prepared case.
+
+    ``context`` is any object with the :class:`repro.api.Session` cache
+    protocol (``pg_explainer(case)``); without one, dependencies are
+    fitted fresh per call.  ``seed`` overrides the shared
+    ``case.seed + 21`` construction convention (the sweeps use their own
+    historical offsets).
+    """
+    config = case.config if config is None else config
+    if isinstance(spec, str):
+        spec = attack_spec(spec, config)
+    cls = attack_class(spec.name)
+    dependencies = {}
+    if "pg_explainer" in cls.requires:
+        dependencies["pg_explainer"] = (
+            context.pg_explainer(case)
+            if context is not None
+            else fit_pg_explainer(case, config)
+        )
+    return cls.from_spec(case, spec, dependencies=dependencies, seed=seed)
+
+
+def fit_pg_explainer(case, config, memo=None):
+    """Fit the case's PGExplainer (the shared seed/fit convention).
+
+    ``memo`` (a mutable dict, e.g. a Session's cache) holds one fitted
+    explainer per prepared case; the case object is pinned in the value so
+    its ``id`` key cannot be recycled while the entry is alive.
+    """
+    key = ("pg", id(case))
+    if memo is not None and key in memo:
+        entry = memo[key]
+        return entry[1] if isinstance(entry, tuple) else entry
+    explainer = PGExplainer(
+        case.model, epochs=config.pg_epochs, seed=case.seed + PG_SEED_OFFSET
+    ).fit(case.graph, instances=config.pg_instances)
+    if memo is not None:
+        memo[key] = (case, explainer)
+    return explainer
+
+
+def scenario_spec(cell, config):
+    """Composite :class:`ScenarioSpec` for one arena cell under a config."""
+    return ScenarioSpec(
+        dataset=DatasetSpec.from_config(cell.dataset, config),
+        model=ModelSpec.from_config(config, hidden=cell.hidden),
+        victim_policy=VictimPolicy.from_config(config),
+        attack=attack_spec(cell.attack, config),
+        budget_cap=cell.budget_cap,
+        seed=cell.seed,
+    )
+
+
+# -- defenses ----------------------------------------------------------------
+
+
+def defense_spec(name, config):
+    """Typed spec of a registered defense at ``config``'s operating point."""
+    if name not in DEFENSES:
+        raise KeyError(f"unknown defense {name!r}; options: {sorted(DEFENSES)}")
+    return DefenseSpec(name, resolve_params(DEFENSES[name].config_params, config))
+
+
+def build_defense(spec, case, config=None, context=None, explainer=None, **runtime):
+    """Instantiate a defense from a spec (or name) for a prepared case.
+
+    ``runtime`` kwargs carry case-level wiring a serialized spec cannot
+    (trusted-edge snapshots, per-cell prune budgets); ``explainer``
+    optionally overrides the default GNNExplainer inspector spec for
+    explanation-based defenses.
+    """
+    config = case.config if config is None else config
+    if isinstance(spec, str):
+        spec = defense_spec(spec, config)
+    if spec.name not in DEFENSES:
+        raise KeyError(
+            f"unknown defense {spec.name!r}; options: {sorted(DEFENSES)}"
+        )
+    factory = None
+    if DEFENSES[spec.name].requires_explainer:
+        explainer = explainer or ExplainerSpec("gnn")
+        factory = explainer.build(case, config=config, context=context)
+    return make_defense(
+        spec.name,
+        case.model,
+        explainer_factory=factory,
+        **{**dict(spec.params), **runtime},
+    )
+
+
+# -- explainers --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ExplainerRecipe:
+    """One registered inspector construction recipe."""
+
+    cls: type
+    params: tuple = ()
+    #: Whether the factory fits once per case and then explains inductively
+    #: (PGExplainer) instead of constructing fresh per inspected graph.
+    fitted: bool = False
+    #: Static constructor kwargs not exposed as config params.
+    static: tuple = ()
+
+
+#: The inspector registry: one construction recipe per explainer kind.
+#: This is the single replacement for the per-runner factory helpers that
+#: used to live in the table runner, the arena runner, the sweeps and the
+#: CLI (all of which built "the same" GNNExplainer separately).
+EXPLAINERS = {
+    "gnn": _ExplainerRecipe(
+        GNNExplainer,
+        params=(
+            ConfigParam("epochs", "explainer_epochs"),
+            ConfigParam("lr", "explainer_lr"),
+        ),
+    ),
+    "gnn-features": _ExplainerRecipe(
+        GNNExplainer,
+        params=(
+            ConfigParam("epochs", "explainer_epochs"),
+            ConfigParam("lr", "explainer_lr"),
+        ),
+        static=(("explain_features", True),),
+    ),
+    "pg": _ExplainerRecipe(
+        PGExplainer,
+        params=(
+            ConfigParam("epochs", "pg_epochs"),
+            ConfigParam("instances", "pg_instances", constructor=False),
+        ),
+        fitted=True,
+    ),
+    "grad": _ExplainerRecipe(GradExplainer),
+    "occlusion": _ExplainerRecipe(OcclusionExplainer),
+}
+
+
+def build_explainer_factory(spec, case, config=None, context=None):
+    """``callable(graph) -> explainer`` for a spec and a prepared case.
+
+    GNNExplainer-style inspectors construct fresh (seeded) per call so
+    inspection is independent of victim order and of ``jobs``; fitted
+    inspectors (PGExplainer) train once per case — through the session
+    cache when a ``context`` is given — and are returned as constants.
+    """
+    config = case.config if config is None else config
+    if isinstance(spec, str):
+        spec = ExplainerSpec(spec)
+    if spec.kind not in EXPLAINERS:
+        raise KeyError(
+            f"unknown explainer {spec.kind!r}; options: {sorted(EXPLAINERS)}"
+        )
+    recipe = EXPLAINERS[spec.kind]
+    overrides = dict(spec.params)
+    declared = {p.name: p for p in recipe.params}
+    unknown = sorted(set(overrides) - set(declared))
+    if unknown:
+        raise ValueError(
+            f"explainer {spec.kind!r} spec carries undeclared params "
+            f"{unknown}; declared: {sorted(declared)}"
+        )
+    defaults = {name: param.resolve(config) for name, param in declared.items()}
+    resolved = {**defaults, **overrides}
+    if recipe.fitted:
+        # The session cache only serves the config-default operating point
+        # (that is what fit_pg_explainer stores); explicit spec overrides
+        # always fit fresh so they are honored, never silently dropped.
+        if (
+            context is not None
+            and recipe.cls is PGExplainer
+            and resolved == defaults
+        ):
+            explainer = context.pg_explainer(case)
+        else:
+            ctor = {
+                name: value
+                for name, value in resolved.items()
+                if declared[name].constructor
+            }
+            ctor.update(recipe.static)
+            fit_kwargs = {
+                name: value
+                for name, value in resolved.items()
+                if not declared[name].constructor
+            }
+            explainer = recipe.cls(
+                case.model, seed=case.seed + PG_SEED_OFFSET, **ctor
+            ).fit(case.graph, **fit_kwargs)
+        return lambda _graph: explainer
+    kwargs = {
+        name: value
+        for name, value in resolved.items()
+        if declared[name].constructor
+    }
+    kwargs.update(recipe.static)
+    if recipe.cls is GNNExplainer:
+        kwargs["seed"] = case.seed + INSPECTOR_SEED_OFFSET
+    return lambda _graph: recipe.cls(case.model, **kwargs)
+
+
+# -- generated schema (python -m repro describe) -----------------------------
+
+
+def _constructor_defaults(cls):
+    """Non-schema constructor kwargs and their defaults, by introspection."""
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):
+        return {}
+    return {
+        name: parameter.default
+        for name, parameter in signature.parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+        and name not in ("self", "seed", "candidate_policy")
+    }
+
+
+def registry_schema(config=None):
+    """JSON-safe description of every registered component.
+
+    One entry per attack/defense/explainer: the class, its declared
+    config-fed params (with resolved values when a ``config`` is given),
+    its dependencies and its remaining constructor defaults — everything
+    generated from the registries, nothing hand-maintained.
+    """
+
+    def entry(cls, params, extra=None):
+        declared = {p.name for p in params}
+        return {
+            "class": f"{cls.__module__}.{cls.__qualname__}",
+            "params": schema_rows(params, config),
+            "defaults": {
+                name: default
+                for name, default in _constructor_defaults(cls).items()
+                if name not in declared
+            },
+            **(extra or {}),
+        }
+
+    attacks = {
+        name: entry(
+            cls,
+            cls.config_params,
+            {
+                "supports_locality": bool(cls.supports_locality),
+                "requires": list(getattr(cls, "requires", ())),
+                "registry": (
+                    "ATTACKS"
+                    if name in ATTACKS
+                    else "EXTENSION_ATTACKS"
+                    if name in EXTENSION_ATTACKS
+                    else "FEATURE_ATTACKS"
+                ),
+            },
+        )
+        for name, cls in sorted(_attack_registry().items())
+    }
+    defenses = {
+        name: entry(
+            cls,
+            cls.config_params,
+            {"requires_explainer": bool(cls.requires_explainer)},
+        )
+        for name, cls in sorted(DEFENSES.items())
+    }
+    explainers = {
+        kind: entry(recipe.cls, recipe.params, {"fitted": recipe.fitted})
+        for kind, recipe in sorted(EXPLAINERS.items())
+    }
+    return {"attacks": attacks, "defenses": defenses, "explainers": explainers}

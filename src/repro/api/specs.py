@@ -1,0 +1,311 @@
+"""Typed, frozen specs: the façade's declarative vocabulary.
+
+Every spec is a frozen dataclass with an exact ``to_dict``/``from_dict``
+round-trip, and the dicts are *the* canonical serialization: a
+:class:`ScenarioSpec`'s ``to_dict`` **is** the arena's content-addressed
+cell config (see :func:`repro.arena.grid.cell_config`), so one
+serialization drives construction, storage keys and resume compatibility —
+two code paths can never drift apart.
+
+Specs are pure data (this module imports only the stdlib); the recipes
+that turn them into live objects live in :mod:`repro.api.registry`, and
+the convenience ``build`` methods here simply defer to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AttackSpec",
+    "DatasetSpec",
+    "DefenseSpec",
+    "EvalSpec",
+    "ExplainerSpec",
+    "ModelSpec",
+    "ScenarioSpec",
+    "VictimPolicy",
+    "TableExperiment",
+    "SweepExperiment",
+    "ArenaExperiment",
+]
+
+#: Bump when the stored record layout or the key schema changes; old store
+#: entries then simply miss (never mis-hit).  Canonically defined here and
+#: re-exported by :mod:`repro.arena.grid`.
+SCHEMA_VERSION = 1
+
+
+def _params_tuple(params):
+    """Canonicalize a params mapping to a sorted tuple of (name, value)."""
+    items = params.items() if isinstance(params, dict) else params
+    return tuple(sorted((str(name), value) for name, value in items))
+
+
+class _FieldSpec:
+    """Shared to_dict/from_dict over the dataclass fields, field-per-key."""
+
+    def to_dict(self):
+        """JSON-safe dict; exact inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+    def replace(self, **overrides):
+        """Copy of this spec with some fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class DatasetSpec(_FieldSpec):
+    """Which synthetic citation graph to generate, and at what scale."""
+
+    name: str = "cora"
+    scale: float = 0.15
+
+    @classmethod
+    def from_config(cls, name, config):
+        return cls(name=name, scale=config.dataset_scale)
+
+
+@dataclass(frozen=True)
+class ModelSpec(_FieldSpec):
+    """The attacked GCN's architecture and training hyperparameters."""
+
+    hidden: int = 16
+    epochs: int = 200
+    learning_rate: float = 0.01
+    weight_decay: float = 5e-4
+    dropout: float = 0.5
+
+    @classmethod
+    def from_config(cls, config, hidden=None):
+        return cls(
+            hidden=config.hidden if hidden is None else int(hidden),
+            epochs=config.epochs,
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+            dropout=config.dropout,
+        )
+
+
+@dataclass(frozen=True)
+class VictimPolicy(_FieldSpec):
+    """The paper's victim-selection protocol (margin extremes + random)."""
+
+    num_victims: int = 12
+    margin_group: int = 3
+    min_degree: int = 1
+    max_degree: int = 10
+
+    @classmethod
+    def from_config(cls, config):
+        return cls(
+            num_victims=config.num_victims,
+            margin_group=config.margin_group,
+            min_degree=config.min_degree,
+            max_degree=config.max_degree,
+        )
+
+
+class _NamedParamsSpec:
+    """A registry name plus canonicalized operating-point params.
+
+    ``to_dict`` flattens the params next to the identifying field —
+    exactly the shape the arena's content keys hash (``{"name": ...,
+    **params}``) — and ``from_dict`` inverts it, so the spec round-trip
+    and the store-key serialization are the same bytes.
+    """
+
+    _id_field = "name"
+
+    def __post_init__(self):
+        object.__setattr__(self, "params", _params_tuple(self.params))
+
+    def to_dict(self):
+        return {
+            self._id_field: getattr(self, self._id_field),
+            **dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        identity = data[cls._id_field]
+        params = {
+            name: value for name, value in data.items() if name != cls._id_field
+        }
+        return cls(identity, params)
+
+    def with_params(self, **overrides):
+        """Copy of this spec with some params overridden."""
+        return type(self)(
+            getattr(self, self._id_field), {**dict(self.params), **overrides}
+        )
+
+
+@dataclass(frozen=True)
+class AttackSpec(_NamedParamsSpec):
+    """One registered attack at a concrete operating point.
+
+    ``name`` is a :data:`repro.attacks.ATTACKS` /
+    :data:`~repro.attacks.EXTENSION_ATTACKS` key; ``params`` hold only the
+    knobs the attack's declared ``config_params`` schema scopes to it (so
+    the spec hashes exactly what determines the attack's results).
+    """
+
+    name: str
+    params: tuple = ()
+
+    def build(self, case, config=None, context=None, seed=None):
+        """Instantiate the attack for a prepared case (via the registry)."""
+        from repro.api.registry import build_attack
+
+        return build_attack(self, case, config=config, context=context, seed=seed)
+
+
+@dataclass(frozen=True)
+class DefenseSpec(_NamedParamsSpec):
+    """One registered defense (a :data:`repro.defense.DEFENSES` key)."""
+
+    name: str
+    params: tuple = ()
+
+    def build(self, case, config=None, context=None, **runtime):
+        """Instantiate the defense for a prepared case (via the registry).
+
+        ``runtime`` kwargs carry case-level wiring a spec cannot serialize
+        (trusted edge snapshots, per-cell prune budgets).
+        """
+        from repro.api.registry import build_defense
+
+        return build_defense(
+            self, case, config=config, context=context, **runtime
+        )
+
+
+@dataclass(frozen=True)
+class ExplainerSpec(_NamedParamsSpec):
+    """One registered explainer/inspector construction recipe.
+
+    ``kind`` is a :data:`repro.api.registry.EXPLAINERS` key (``"gnn"``,
+    ``"pg"``, ``"gnn-features"``, ``"grad"``, ``"occlusion"``).  The single
+    :meth:`build` replaces the per-runner factory helpers that used to be
+    duplicated across the table runner, the arena and the CLI.
+    """
+
+    _id_field = "kind"
+
+    kind: str = "gnn"
+    params: tuple = ()
+
+    def build(self, case, config=None, context=None):
+        """``callable(graph) -> explainer`` factory for a prepared case."""
+        from repro.api.registry import build_explainer_factory
+
+        return build_explainer_factory(
+            self, case, config=config, context=context
+        )
+
+
+@dataclass(frozen=True)
+class EvalSpec(_FieldSpec):
+    """Inspection/evaluation knobs: detection cut-off and window size."""
+
+    detection_k: int = 15
+    explanation_size: int = 20
+
+    @classmethod
+    def from_config(cls, config):
+        return cls(
+            detection_k=config.detection_k,
+            explanation_size=config.explanation_size,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything that determines one execution cell's attack results.
+
+    The composite spec behind the arena's content-addressed store:
+    :meth:`to_dict` produces byte-for-byte the canonical cell config that
+    :func:`repro.arena.grid.cell_config` has always hashed, so stores
+    written before this API existed stay warm.
+    """
+
+    dataset: DatasetSpec
+    model: ModelSpec
+    victim_policy: VictimPolicy
+    attack: AttackSpec
+    budget_cap: int = 3
+    seed: int = 0
+
+    def to_dict(self):
+        return {
+            "schema": SCHEMA_VERSION,
+            "dataset": self.dataset.to_dict(),
+            "model": self.model.to_dict(),
+            "victim_protocol": self.victim_policy.to_dict(),
+            "attack": self.attack.to_dict(),
+            "budget_cap": self.budget_cap,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"scenario schema {data.get('schema')!r} does not match "
+                f"version {SCHEMA_VERSION}"
+            )
+        return cls(
+            dataset=DatasetSpec.from_dict(data["dataset"]),
+            model=ModelSpec.from_dict(data["model"]),
+            victim_policy=VictimPolicy.from_dict(data["victim_protocol"]),
+            attack=AttackSpec.from_dict(data["attack"]),
+            budget_cap=data["budget_cap"],
+            seed=data["seed"],
+        )
+
+
+# -- experiment descriptions (inputs to Session.run) -------------------------
+
+
+@dataclass(frozen=True)
+class TableExperiment:
+    """A Table 1 / Table 2 comparison: all methods × all metrics × seeds."""
+
+    dataset: str = "cora"
+    #: ``"gnn"`` (Table 1) or ``"pg"`` (Table 2) — the inspector *and* the
+    #: simulated explainer GEAttack unrolls.
+    explainer: str = "gnn"
+    #: Optional subset of :data:`repro.experiments.METHOD_ORDER`.
+    methods: tuple | None = None
+
+    def __post_init__(self):
+        if self.methods is not None:
+            object.__setattr__(self, "methods", tuple(self.methods))
+
+
+@dataclass(frozen=True)
+class SweepExperiment:
+    """A one-knob GEAttack sweep (λ / inner steps T / explanation size L)."""
+
+    kind: str  # "lambda" | "inner-steps" | "subgraph-size"
+    dataset: str = "cora"
+    values: tuple | None = None
+
+    def __post_init__(self):
+        if self.values is not None:
+            object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True)
+class ArenaExperiment:
+    """An attack × defense scenario matrix against a result store."""
+
+    grid: object  # repro.arena.ScenarioGrid
+    store: object  # repro.arena.ResultStore or a path for one
+    fresh: bool = False

@@ -20,6 +20,8 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+from repro.api.specs import SCHEMA_VERSION
+
 __all__ = [
     "SCHEMA_VERSION",
     "ScenarioCell",
@@ -30,10 +32,6 @@ __all__ = [
     "victim_dict",
     "victim_key",
 ]
-
-#: Bump when the stored record layout or the key schema changes; old store
-#: entries then simply miss (never mis-hit).
-SCHEMA_VERSION = 1
 
 
 def canonical_json(payload):
@@ -117,59 +115,21 @@ class ScenarioGrid:
         )
 
 
-def _attack_params(name, config):
-    """The operating-point knobs a given attack reads from the config.
-
-    Only knobs the attack actually consumes go into the key — changing
-    ``geattack_lam`` must invalidate GEAttack cells but not Nettack's.
-    """
-    if name == "GEAttack":
-        return {
-            "lam": config.geattack_lam,
-            "inner_steps": config.geattack_inner_steps,
-            "inner_lr": config.geattack_inner_lr,
-        }
-    if name == "GEAttack-PG":
-        # The runner caps the PG variant's unroll at 2 inner steps and fits
-        # its PGExplainer from the pg_* knobs, so the key must hash the
-        # *effective* operating point: the explainer settings matter, and
-        # inner_steps beyond the cap cannot change results.
-        return {
-            "lam": config.geattack_lam,
-            "inner_steps": min(config.geattack_inner_steps, 2),
-            "pg_epochs": config.pg_epochs,
-            "pg_instances": config.pg_instances,
-        }
-    if name == "FGA-T&E":
-        return {
-            "explainer_epochs": config.explainer_epochs,
-            "explanation_size": config.explanation_size,
-        }
-    return {}
-
-
 def cell_config(cell, config):
-    """Canonical dict of everything that determines a cell's results."""
-    return {
-        "schema": SCHEMA_VERSION,
-        "dataset": {"name": cell.dataset, "scale": config.dataset_scale},
-        "model": {
-            "hidden": cell.hidden,
-            "epochs": config.epochs,
-            "learning_rate": config.learning_rate,
-            "weight_decay": config.weight_decay,
-            "dropout": config.dropout,
-        },
-        "victim_protocol": {
-            "num_victims": config.num_victims,
-            "margin_group": config.margin_group,
-            "min_degree": config.min_degree,
-            "max_degree": config.max_degree,
-        },
-        "attack": {"name": cell.attack, **_attack_params(cell.attack, config)},
-        "budget_cap": cell.budget_cap,
-        "seed": cell.seed,
-    }
+    """Canonical dict of everything that determines a cell's results.
+
+    Generated from the typed specs (:func:`repro.api.registry
+    .scenario_spec`): the attack's scoped operating point comes from the
+    class's declared ``config_params`` schema — only knobs the attack
+    actually consumes enter the key, so changing ``geattack_lam``
+    invalidates GEAttack cells but not Nettack's — and the composite dict
+    is byte-for-byte the spec's ``to_dict``, so one serialization drives
+    construction and storage alike (stores written before the spec layer
+    existed stay warm).
+    """
+    from repro.api.registry import scenario_spec
+
+    return scenario_spec(cell, config).to_dict()
 
 
 def victim_dict(spec):

@@ -1,53 +1,19 @@
-"""Resumable arena orchestration: schedule cells, reuse stored results.
+"""Arena result types and the legacy ``run_arena`` entry point.
 
-The execution loop per :class:`~repro.arena.grid.ScenarioCell`:
-
-1. prepare the cell's case (train the GCN) and derive its victim set —
-   both deterministic functions of (dataset, hidden, seed, config), shared
-   across cells via an in-run memo;
-2. compute every victim's content key; victims already in the store are
-   *loaded*, the rest are *executed* through the existing batched
-   ``attack_many`` engine (subgraph locality + ``parallel_map`` fan-out)
-   and persisted immediately — so a kill loses at most the in-flight cell;
-3. evaluation always reads back through the store (serialize → deserialize
-   → rebuild the perturbed graph), so a warm resume renders a byte-identical
-   matrix by construction, not by luck;
-4. every defense on the grid's defense axis scores the cell's victims:
-   defended prediction → evasion rate, suspicion flags on attacked vs
-   clean graphs → detection AUC.
-
-``ArenaRun.executed`` counts actual attack executions — the warm-store
-contract (*resume re-executes zero completed attacks*) is asserted on it
-by the resume tests, the benchmark and the CI smoke job.
+The execution loop lives in the façade (:meth:`repro.api.Session.run`
+with an :class:`~repro.api.specs.ArenaExperiment`): schedule cells, reuse
+stored results, evaluate every defense through the content-addressed
+store.  This module keeps the arena's result dataclasses and a thin
+:func:`run_arena` forward so existing callers keep working unchanged —
+same store keys, same byte-identical matrices, same
+``executed 0 attacks`` warm-resume contract (asserted by the resume
+tests, the benchmark and the CI smoke job on ``ArenaRun.stats_line``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-
-import numpy as np
-
-from repro.arena.grid import SCHEMA_VERSION, cell_config, victim_dict, victim_key
-from repro.arena.store import ResultStore
-from repro.attacks import (
-    ATTACKS,
-    EXTENSION_ATTACKS,
-    AttackResult,
-    FGATExplainerEvasion,
-    GEAttack,
-    GEAttackPG,
-    VictimSpec,
-)
-from repro.defense import DEFENSES, make_defense
-from repro.experiments.config import SCALE_PRESETS
-from repro.experiments.pipeline import (
-    derive_target_labels,
-    prepare_case,
-    select_victims,
-)
-from repro.explain import GNNExplainer, PGExplainer
-from repro.metrics import binary_auc
-from repro.parallel import parallel_map
+import warnings
+from dataclasses import dataclass, field
 
 __all__ = ["CellEvaluation", "ArenaRun", "run_arena", "build_arena_attack"]
 
@@ -90,147 +56,13 @@ class ArenaRun:
         )
 
 
-def _case_and_victims(cell, config, memo):
-    """Prepared case + derived victims, memoized per (dataset, hidden, seed).
-
-    Victim derivation (FGA probing) is defense- and attack-independent, so
-    every cell sharing a case reuses it.
-    """
-    key = (cell.dataset, cell.hidden, cell.seed)
-    if key not in memo:
-        cell_config_ = replace(config, hidden=cell.hidden)
-        case = prepare_case(cell.dataset, cell_config_, seed=cell.seed)
-        victims = derive_target_labels(case, select_victims(case))
-        memo[key] = (case, victims)
-    return memo[key]
-
-
-def _pg_explainer(case, config, memo):
-    key = ("pg", id(case))
-    if key not in memo:
-        memo[key] = PGExplainer(
-            case.model, epochs=config.pg_epochs, seed=case.seed + 31
-        ).fit(case.graph, instances=config.pg_instances)
-    return memo[key]
-
-
-def build_arena_attack(name, case, config, memo=None):
-    """Instantiate a registry attack at the config's operating point.
-
-    Mirrors :func:`repro.experiments.table_runner.paper_attacks`, but by
-    name, so the arena can enumerate any subset of
-    ``ATTACKS ∪ EXTENSION_ATTACKS``.
-    """
-    memo = {} if memo is None else memo
-    model, seed = case.model, case.seed + 21
-    if name == "GEAttack":
-        return GEAttack(
-            model,
-            seed=seed,
-            lam=config.geattack_lam,
-            inner_steps=config.geattack_inner_steps,
-            inner_lr=config.geattack_inner_lr,
-        )
-    if name == "GEAttack-PG":
-        return GEAttackPG(
-            model,
-            _pg_explainer(case, config, memo),
-            seed=seed,
-            lam=config.geattack_lam,
-            inner_steps=min(config.geattack_inner_steps, 2),
-        )
-    if name == "FGA-T&E":
-        return FGATExplainerEvasion(
-            model,
-            seed=seed,
-            explainer_epochs=config.explainer_epochs,
-            explanation_size=config.explanation_size,
-        )
-    registry = {**ATTACKS, **EXTENSION_ATTACKS}
-    if name not in registry:
-        raise KeyError(
-            f"unknown attack {name!r}; options: {sorted(registry)}"
-        )
-    return registry[name](model, seed=seed)
-
-
-def _arena_explainer_factory(case, config):
-    """Deterministic inspector for explanation-based defenses.
-
-    Same convention as the pipeline (seed offset 41): a fresh, seeded
-    GNNExplainer per inspection, so defense evaluation is independent of
-    victim order and of ``jobs``.
-    """
-
-    def factory(_graph):
-        return GNNExplainer(
-            case.model,
-            epochs=config.explainer_epochs,
-            lr=config.explainer_lr,
-            seed=case.seed + 41,
-        )
-
-    return factory
-
-
-def _evaluate_defense(cell, defense_name, case, config, specs, results, jobs):
-    """Score one defense over a cell's victims (evasion + detection)."""
-    # The arena's explainer inspector is the paper's Section-3 threat model:
-    # the defender holds a clean pre-attack snapshot (so only *new* edges
-    # are prunable — the same knowledge detection@K assumes), examines the
-    # explanation's top-L window only, and may prune as many edges as the
-    # attacker's budget.  Evading it therefore means keeping adversarial
-    # edges *below* the explanation window — GEAttack's objective.
-    extra = {}
-    if defense_name == "explainer":
-        extra = {
-            "prune_k": cell.budget_cap,
-            "trusted_edges": case.graph.edge_set(),
-            "inspection_window": config.explanation_size,
-        }
-    defense = make_defense(
-        defense_name,
-        case.model,
-        explainer_factory=_arena_explainer_factory(case, config),
-        **extra,
-    )
-
-    def evaluate_one(item):
-        spec, result = item
-        defended = defense.predict(result.perturbed_graph, spec.node)
-        return (
-            bool(defended != result.original_prediction),
-            float(defense.flag(result.perturbed_graph, spec.node)),
-            float(defense.flag(case.graph, spec.node)),
-            bool(result.misclassified),
-        )
-
-    rows = parallel_map(evaluate_one, list(zip(specs, results)), jobs=jobs)
-    evaded = [row[0] for row in rows]
-    attacked_flags = [row[1] for row in rows]
-    clean_flags = [row[2] for row in rows]
-    unflagged_hits = [
-        attacked_flag <= clean_flag
-        for _, attacked_flag, clean_flag, misclassified in rows
-        if misclassified
-    ]
-    return CellEvaluation(
-        cell=cell,
-        defense=defense_name,
-        victims=len(specs),
-        evasion_rate=float(np.mean(evaded)) if evaded else float("nan"),
-        inspection_evasion_rate=(
-            float(np.mean(unflagged_hits)) if unflagged_hits else float("nan")
-        ),
-        detection_auc=binary_auc(
-            attacked_flags + clean_flags,
-            [True] * len(attacked_flags) + [False] * len(clean_flags),
-        ),
-    )
-
-
 def run_arena(grid, store, config=None, jobs=1, cases=None, progress=None):
     """Run (or resume) a scenario grid against a result store.
+
+    Forwards to the façade: equivalent to
+    ``Session(config=config, jobs=jobs, cases=cases).arena(grid, store,
+    progress=progress)``.  See :class:`repro.api.Session` for the
+    streaming event interface this drains.
 
     Parameters
     ----------
@@ -256,72 +88,31 @@ def run_arena(grid, store, config=None, jobs=1, cases=None, progress=None):
     -------
     ArenaRun
     """
-    if not isinstance(store, ResultStore):
-        store = ResultStore(store)
-    config = SCALE_PRESETS["smoke"] if config is None else config
-    # Fail on axis typos in milliseconds, not after the first cell's
-    # attacks have burned minutes of compute.
-    known_attacks = {**ATTACKS, **EXTENSION_ATTACKS}
-    for name in grid.attacks:
-        if name not in known_attacks:
-            raise KeyError(
-                f"unknown attack {name!r}; options: {sorted(known_attacks)}"
-            )
-    for name in grid.defenses:
-        if name not in DEFENSES:
-            raise KeyError(
-                f"unknown defense {name!r}; options: {sorted(DEFENSES)}"
-            )
-    memo = {} if cases is None else cases
-    run = ArenaRun(grid=grid, config=config)
+    from repro.api.session import Session
 
-    for cell in grid.cells():
-        case, victims = _case_and_victims(cell, config, memo)
-        specs = [
-            VictimSpec(
-                node=victim.node,
-                target_label=victim.target_label,
-                budget=min(victim.budget, cell.budget_cap),
-            )
-            for victim in victims
-        ]
-        cfg = cell_config(cell, config)
-        keys = [victim_key(cfg, spec) for spec in specs]
-        missing = [
-            (spec, key) for spec, key in zip(specs, keys) if key not in store
-        ]
-        if missing:
-            attack = build_arena_attack(cell.attack, case, config, memo)
-            results = attack.attack_many(
-                case.graph, [spec for spec, _ in missing], jobs=jobs
-            )
-            run.executed += len(results)
-            for (spec, key), result in zip(missing, results):
-                store.put(
-                    key,
-                    {
-                        "schema": SCHEMA_VERSION,
-                        "cell": cfg,
-                        "victim": victim_dict(spec),
-                        "result": result.to_dict(),
-                    },
-                )
-        run.loaded += len(specs) - len(missing)
-        if progress is not None:
-            progress(
-                f"{cell.label()}: {len(specs) - len(missing)} cached, "
-                f"{len(missing)} executed"
-            )
-        # Always evaluate through the store: serialize → deserialize →
-        # rebuild, so warm and cold runs see bit-identical inputs.
-        results = [
-            AttackResult.from_dict(store.get(key)["result"], graph=case.graph)
-            for key in keys
-        ]
-        for defense_name in grid.defenses:
-            run.evaluations.append(
-                _evaluate_defense(
-                    cell, defense_name, case, config, specs, results, jobs
-                )
-            )
-    return run
+    session = Session(config=config, jobs=jobs, cases=cases)
+    return session.arena(grid, store, progress=progress)
+
+
+def build_arena_attack(name, case, config, memo=None):
+    """Deprecated: instantiate a registry attack at the config's knobs.
+
+    .. deprecated::
+        Use :func:`repro.api.registry.build_attack` (or
+        ``AttackSpec.build``), which generates the construction from the
+        attack's declared ``config_params`` schema instead of a
+        hand-maintained name ladder.  This shim forwards there.
+    """
+    warnings.warn(
+        "repro.arena.runner.build_arena_attack is deprecated; build attacks "
+        "through repro.api (registry.build_attack / AttackSpec.build)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.registry import attack_class, attack_spec, fit_pg_explainer
+
+    cls = attack_class(name)  # raises the historical "unknown attack" KeyError
+    dependencies = {}
+    if "pg_explainer" in cls.requires:
+        dependencies["pg_explainer"] = fit_pg_explainer(case, config, memo=memo)
+    return cls.from_spec(case, attack_spec(name, config), dependencies=dependencies)

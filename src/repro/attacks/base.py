@@ -27,11 +27,17 @@ __all__ = [
     "Attack",
     "DenseGCNForward",
     "CandidatePolicy",
+    "SPEC_SEED_OFFSET",
     "VictimSpec",
     "candidate_nodes",
     "coerce_victim",
     "record_trace",
 ]
+
+#: Seed convention every runner uses when building attacks from specs:
+#: ``attack_seed = case.seed + SPEC_SEED_OFFSET`` (historically 21 in both
+#: the table runner and the arena, now shared through one constant).
+SPEC_SEED_OFFSET = 21
 
 
 @dataclass
@@ -122,8 +128,12 @@ class AttackResult:
         When ``graph`` (the clean base graph) is given, the perturbed graph
         is reconstructed by replaying the recorded operations: ``history``
         removals first (DICE/Metattack drop edges), then the added edges —
-        yielding a graph with exactly the stored edge set.  Without a
-        ``graph`` the perturbed graph is ``None`` (metrics-only use).
+        yielding a graph with exactly the stored edge set.  The record
+        carries no graph identity of its own, so replay is guarded: the
+        victim and every recorded endpoint must be valid node ids of
+        ``graph``, otherwise the stored edges would silently land on the
+        wrong graph.  Without a ``graph`` the perturbed graph is ``None``
+        (metrics-only use).
         """
         added = [edge_tuple(u, v) for u, v in data["added_edges"]]
         history = [
@@ -131,6 +141,25 @@ class AttackResult:
         ]
         perturbed = None
         if graph is not None:
+            num_nodes = int(graph.num_nodes)
+            victim = int(data["target_node"])
+            if not 0 <= victim < num_nodes:
+                raise ValueError(
+                    f"stored result targets node {victim}, but the supplied "
+                    f"base graph has only {num_nodes} nodes — this record "
+                    "belongs to a different graph"
+                )
+            endpoints = {e for edge in added for e in edge}
+            endpoints.update(e for _, edge in history for e in edge)
+            out_of_range = sorted(
+                e for e in endpoints if not 0 <= e < num_nodes
+            )
+            if out_of_range:
+                raise ValueError(
+                    f"stored result references node(s) {out_of_range} beyond "
+                    f"the supplied base graph's {num_nodes} nodes — refusing "
+                    "to replay edges on the wrong graph"
+                )
             removed = [edge for tag, edge in history if tag == "removed"]
             perturbed = graph
             if removed:
@@ -313,11 +342,60 @@ class Attack:
     supports_locality = False
     #: Receptive-field depth of the attacked model (2-layer GCN).
     locality_hops = 2
+    #: Declared config-fed knobs (:class:`repro.schema.ConfigParam`).  The
+    #: content-addressed store keys, the ``repro.api`` construction
+    #: factories and ``python -m repro describe`` are all generated from
+    #: this tuple — registering an attack with a declaration is enough to
+    #: expose it everywhere.
+    config_params = ()
+    #: Named dependencies :meth:`from_spec` needs beyond the model (e.g.
+    #: ``"pg_explainer"``); supplied by the session/registry builder.
+    requires = ()
 
     def __init__(self, model, seed=0, candidate_policy=None):
         self.model = model
         self.seed = int(seed)
         self.candidate_policy = candidate_policy
+
+    # -- spec protocol -------------------------------------------------------
+    @classmethod
+    def spec_params(cls, config):
+        """The operating-point knobs this attack reads from ``config``.
+
+        This dict is the attack's contribution to the arena's content keys
+        (scoped per consumer: changing ``geattack_lam`` must invalidate
+        GEAttack cells but not Nettack's) and the parameter payload of an
+        :class:`repro.api.AttackSpec`.
+        """
+        return {p.name: p.resolve(config) for p in cls.config_params}
+
+    @classmethod
+    def _spec_kwargs(cls, spec):
+        """Constructor kwargs from a spec's params (declared names only)."""
+        params = dict(spec.params)
+        declared = {p.name: p for p in cls.config_params}
+        unknown = sorted(set(params) - set(declared))
+        if unknown:
+            raise ValueError(
+                f"{spec.name!r} spec carries undeclared params {unknown}; "
+                f"declared: {sorted(declared)}"
+            )
+        return {
+            name: value
+            for name, value in params.items()
+            if declared[name].constructor
+        }
+
+    @classmethod
+    def from_spec(cls, case, spec, dependencies=None, seed=None):
+        """Instantiate this attack for a prepared case at a spec's knobs.
+
+        ``seed`` defaults to the shared construction convention
+        ``case.seed + SPEC_SEED_OFFSET`` used by every experiment runner.
+        Subclasses needing extra ``dependencies`` override this.
+        """
+        seed = case.seed + SPEC_SEED_OFFSET if seed is None else int(seed)
+        return cls(case.model, seed=seed, **cls._spec_kwargs(spec))
 
     # -- api ----------------------------------------------------------------
     def attack(self, graph, target_node, target_label, budget):

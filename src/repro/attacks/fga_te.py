@@ -27,6 +27,7 @@ from repro.attacks.fga import FGATargeted, select_best_candidate, targeted_loss
 from repro.attacks.locality import IdentityScene
 from repro.autodiff.tensor import Tensor, grad
 from repro.explain.gnn_explainer import GNNExplainer
+from repro.schema import ConfigParam
 
 __all__ = ["FGATExplainerEvasion"]
 
@@ -36,6 +37,10 @@ class FGATExplainerEvasion(FGATargeted):
 
     name = "FGA-T&E"
     supports_locality = True
+    config_params = (
+        ConfigParam("explainer_epochs", "explainer_epochs"),
+        ConfigParam("explanation_size", "explanation_size"),
+    )
 
     def __init__(
         self,

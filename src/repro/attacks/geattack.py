@@ -34,7 +34,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.attacks.base import Attack, record_trace
+from repro.attacks.base import SPEC_SEED_OFFSET, Attack, record_trace
+from repro.schema import ConfigParam
 from repro.attacks.fga import targeted_loss
 from repro.attacks.locality import IdentityScene
 from repro.autodiff import functional as F
@@ -103,6 +104,11 @@ class GEAttack(Attack):
 
     name = "GEAttack"
     supports_locality = True
+    config_params = (
+        ConfigParam("lam", "geattack_lam"),
+        ConfigParam("inner_steps", "geattack_inner_steps"),
+        ConfigParam("inner_lr", "geattack_inner_lr"),
+    )
 
     def __init__(
         self,
@@ -316,6 +322,29 @@ class GEAttackPG(Attack):
 
     name = "GEAttack-PG"
     supports_locality = True
+    #: The runners cap the unroll at 2 inner steps, and results depend on
+    #: the PGExplainer's training schedule (a dependency, not a constructor
+    #: kwarg) — both facts are part of the declared operating point so the
+    #: content keys hash what actually runs.
+    config_params = (
+        ConfigParam("lam", "geattack_lam"),
+        ConfigParam("inner_steps", "geattack_inner_steps", cap=2),
+        ConfigParam("pg_epochs", "pg_epochs", constructor=False),
+        ConfigParam("pg_instances", "pg_instances", constructor=False),
+    )
+    requires = ("pg_explainer",)
+
+    @classmethod
+    def from_spec(cls, case, spec, dependencies=None, seed=None):
+        pg_explainer = (dependencies or {}).get("pg_explainer")
+        if pg_explainer is None:
+            raise ValueError(
+                "GEAttack-PG requires a fitted 'pg_explainer' dependency "
+                "(build it through a repro.api.Session, which caches one "
+                "per prepared case)"
+            )
+        seed = case.seed + SPEC_SEED_OFFSET if seed is None else int(seed)
+        return cls(case.model, pg_explainer, seed=seed, **cls._spec_kwargs(spec))
 
     def __init__(
         self,

@@ -1,6 +1,8 @@
 """Command-line interface: regenerate any paper table or figure.
 
-Examples::
+Every command executes through the façade — one :class:`repro.api.Session`
+owns the prepared cases, fitted explainers and process pool for the whole
+invocation.  Examples::
 
     python -m repro table1 --dataset cora --scale smoke
     python -m repro table2 --scale small
@@ -11,30 +13,22 @@ Examples::
     python -m repro feature-attack --dataset citeseer
     python -m repro inspector-zoo --dataset cora
     python -m repro arena --store arena-store --resume
+    python -m repro describe
 """
 
 from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
+from repro.api import ExplainerSpec, Session, build_attack
 from repro.datasets import load_dataset
 from repro.experiments import (
     SCALE_PRESETS,
-    derive_target_labels,
     format_comparison_table,
     format_series,
     format_table,
-    inner_steps_sweep,
-    lambda_sweep,
-    prepare_case,
     preliminary_inspection_study,
-    run_comparison,
-    select_victims,
-    subgraph_size_sweep,
 )
-from repro.explain import GNNExplainer, PGExplainer
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +79,16 @@ def build_parser():
         "inspector-zoo",
         "extension: detection across GNNExplainer/gradient/occlusion inspectors",
     )
+    describe = sub.add_parser(
+        "describe",
+        help="list every registered attack/defense/explainer with its "
+        "generated parameter schema",
+    )
+    describe.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw schema as JSON instead of the listing",
+    )
     arena = sub.add_parser(
         "arena",
         help="attack × defense robustness matrix with a resumable result store",
@@ -132,31 +136,22 @@ def build_parser():
     return parser
 
 
-def _case_and_victims(dataset, config):
-    case = prepare_case(dataset, config)
-    victims = derive_target_labels(case, select_victims(case))
+def _case_and_victims(session, dataset):
+    case, victims = session.prepared(dataset)
     if not victims:
         raise SystemExit("no FGA-flippable victims; try another scale/seed")
     return case, victims
 
 
-def _gnn_factory(case, config):
-    return lambda _graph: GNNExplainer(
-        case.model,
-        epochs=config.explainer_epochs,
-        lr=config.explainer_lr,
-        seed=case.seed + 41,
-    )
-
-
-def _preliminary(case, config, factory, title, jobs=1):
+def _preliminary(session, case, factory, title):
+    config = session.config
     results = preliminary_inspection_study(
         case,
         factory,
         degrees=range(1, 11),
         per_degree=max(2, config.num_victims // 4),
         detection_k=config.detection_k,
-        jobs=jobs,
+        jobs=session.jobs,
     )
     rows = [
         [r.degree, r.count, f"{r.asr:.2f}", f"{r.f1:.3f}", f"{r.ndcg:.3f}"]
@@ -172,19 +167,12 @@ def _preliminary(case, config, factory, title, jobs=1):
 def main(argv=None):
     args = build_parser().parse_args(argv)
     config = SCALE_PRESETS[args.scale]
+    session = Session(config=config, jobs=args.jobs)
 
     if args.command == "table1":
-        print(
-            format_comparison_table(
-                run_comparison(args.dataset, config, "gnn", jobs=args.jobs)
-            )
-        )
+        print(format_comparison_table(session.table(args.dataset, "gnn")))
     elif args.command == "table2":
-        print(
-            format_comparison_table(
-                run_comparison("citeseer", config, "pg", jobs=args.jobs)
-            )
-        )
+        print(format_comparison_table(session.table("citeseer", "pg")))
     elif args.command == "table3":
         rows = []
         for name in ("citeseer", "cora", "acm"):
@@ -206,29 +194,24 @@ def main(argv=None):
             )
         )
     elif args.command in ("fig2", "fig3"):
-        case = prepare_case(args.dataset, config)
+        case = session.case(args.dataset)
         _preliminary(
+            session,
             case,
-            config,
-            _gnn_factory(case, config),
+            ExplainerSpec("gnn").build(case, config),
             f"Figures 2/3 ({args.dataset.upper()}): Nettack vs GNNExplainer",
-            jobs=args.jobs,
         )
     elif args.command == "fig7":
-        case = prepare_case(args.dataset, config)
-        pg = PGExplainer(
-            case.model, epochs=config.pg_epochs, seed=case.seed + 31
-        ).fit(case.graph, instances=config.pg_instances)
+        case = session.case(args.dataset)
         _preliminary(
+            session,
             case,
-            config,
-            lambda _graph: pg,
+            ExplainerSpec("pg").build(case, config, context=session),
             f"Figure 7 ({args.dataset.upper()}): Nettack vs PGExplainer",
-            jobs=args.jobs,
         )
     elif args.command in ("fig4", "fig8"):
-        case, victims = _case_and_victims(args.dataset, config)
-        points = lambda_sweep(case, victims, jobs=args.jobs)
+        _case_and_victims(session, args.dataset)
+        points = session.sweep("lambda", args.dataset)
         columns = (
             ("asr_t", "f1", "ndcg")
             if args.command == "fig4"
@@ -243,8 +226,8 @@ def main(argv=None):
             )
         )
     elif args.command == "fig5":
-        case, victims = _case_and_victims(args.dataset, config)
-        points = subgraph_size_sweep(case, victims, jobs=args.jobs)
+        _case_and_victims(session, args.dataset)
+        points = session.sweep("subgraph-size", args.dataset)
         print(
             format_series(
                 "L",
@@ -254,8 +237,8 @@ def main(argv=None):
             )
         )
     elif args.command == "fig6":
-        case, victims = _case_and_victims(args.dataset, config)
-        points = inner_steps_sweep(case, victims, jobs=args.jobs)
+        _case_and_victims(session, args.dataset)
+        points = session.sweep("inner-steps", args.dataset)
         print(
             format_series(
                 "T",
@@ -265,22 +248,21 @@ def main(argv=None):
             )
         )
     elif args.command == "feature-attack":
-        _feature_attack(args.dataset, config, jobs=args.jobs)
+        _feature_attack(session, args.dataset)
     elif args.command == "inspector-zoo":
-        _inspector_zoo(args.dataset, config, jobs=args.jobs)
+        _inspector_zoo(session, args.dataset)
+    elif args.command == "describe":
+        from repro.api import describe_registries
+
+        print(describe_registries(config, as_json=args.json))
     elif args.command == "arena":
-        _arena(args, config)
+        _arena(session, args)
     return 0
 
 
-def _arena(args, config):
+def _arena(session, args):
     """Run (or resume) the attack × defense robustness arena."""
-    from repro.arena import (
-        ResultStore,
-        ScenarioGrid,
-        render_arena_matrices,
-        run_arena,
-    )
+    from repro.arena import ResultStore, ScenarioGrid, render_arena_matrices
 
     grid = ScenarioGrid(
         datasets=tuple(args.dataset or ("cora",)),
@@ -290,35 +272,25 @@ def _arena(args, config):
         seeds=tuple(int(s) for s in args.seeds.split(",")),
     )
     store = ResultStore(args.store)
-    if args.fresh:
-        store.clear()
-    run = run_arena(grid, store, config=config, jobs=args.jobs, progress=print)
+    run = session.arena(grid, store, progress=print, fresh=args.fresh)
     print()
     print(render_arena_matrices(run))
     print()
     print(run.stats_line())
 
 
-def _feature_attack(dataset, config, jobs=1):
+def _feature_attack(session, dataset):
     """Extension: feature-flip attacks measured against the M_F inspector."""
-    from repro.attacks import FeatureFGA, GEFAttack
     from repro.experiments import evaluate_feature_attack_method
 
-    case, victims = _case_and_victims(dataset, config)
-    factory = lambda _graph: GNNExplainer(
-        case.model,
-        epochs=config.explainer_epochs,
-        lr=config.explainer_lr,
-        seed=case.seed + 41,
-        explain_features=True,
-    )
+    config = session.config
+    case, victims = _case_and_victims(session, dataset)
+    factory = ExplainerSpec("gnn-features").build(case, config)
     rows = []
-    for attack in (
-        FeatureFGA(case.model, seed=case.seed + 71),
-        GEFAttack(case.model, seed=case.seed + 71),
-    ):
+    for name in ("FeatureFGA", "GEF-Attack"):
+        attack = build_attack(name, case, config, seed=case.seed + 71)
         evaluation = evaluate_feature_attack_method(
-            case, attack, victims, factory, jobs=jobs
+            case, attack, victims, factory, jobs=session.jobs
         )
         rows.append(
             [
@@ -338,33 +310,20 @@ def _feature_attack(dataset, config, jobs=1):
     )
 
 
-def _inspector_zoo(dataset, config, jobs=1):
+def _inspector_zoo(session, dataset):
     """Extension: the same attacks under different inspectors."""
-    from repro.attacks import GEAttack, Nettack
-    from repro.experiments import evaluate_attack_method
-    from repro.explain import GradExplainer, OcclusionExplainer
-
-    case, victims = _case_and_victims(dataset, config)
+    config = session.config
+    case, victims = _case_and_victims(session, dataset)
     inspectors = {
-        "GNNExplainer": _gnn_factory(case, config),
-        "Gradient": lambda _graph: GradExplainer(case.model),
-        "Occlusion": lambda _graph: OcclusionExplainer(case.model),
+        "GNNExplainer": ExplainerSpec("gnn").build(case, config),
+        "Gradient": ExplainerSpec("grad").build(case, config),
+        "Occlusion": ExplainerSpec("occlusion").build(case, config),
     }
     rows = []
-    for attack in (
-        Nettack(case.model, seed=case.seed + 71),
-        GEAttack(
-            case.model,
-            seed=case.seed + 71,
-            lam=config.geattack_lam,
-            inner_steps=config.geattack_inner_steps,
-            inner_lr=config.geattack_inner_lr,
-        ),
-    ):
+    for attack_name in ("Nettack", "GEAttack"):
+        attack = build_attack(attack_name, case, config, seed=case.seed + 71)
         for name, factory in inspectors.items():
-            evaluation = evaluate_attack_method(
-                case, attack, victims, factory, jobs=jobs
-            )
+            evaluation = session.evaluate(case, attack, victims, factory)
             rows.append(
                 [
                     attack.name,

@@ -43,6 +43,11 @@ class Defense:
     name = "base"
     #: Whether :meth:`build` needs an ``explainer_factory``.
     requires_explainer = False
+    #: Declared config-fed knobs (:class:`repro.schema.ConfigParam`), the
+    #: same self-describing contract as :attr:`repro.attacks.Attack
+    #: .config_params`: ``repro.api`` generates construction kwargs and the
+    #: ``describe`` schema from this tuple.
+    config_params = ()
 
     def __init__(self, model=None):
         self.model = model

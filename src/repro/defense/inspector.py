@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.defense.base import Defense
 from repro.graph.utils import edge_tuple, graph_cached
+from repro.schema import ConfigParam
 
 __all__ = ["InspectionOutcome", "ExplainerDefense"]
 
@@ -69,6 +70,7 @@ class ExplainerDefense(Defense):
 
     name = "explainer"
     requires_explainer = True
+    config_params = (ConfigParam("inspection_window", "explanation_size"),)
 
     def __init__(
         self,

@@ -27,7 +27,6 @@ from repro.graph import normalize_adjacency
 from repro.metrics import (
     attack_success_rate,
     attack_success_rate_targeted,
-    detection_report,
     prediction_margin,
 )
 from repro.nn import GCN, train_node_classifier
@@ -231,58 +230,23 @@ def evaluate_attack_method(
     Returns
     -------
     MethodEvaluation
+
+    Notes
+    -----
+    This is a compatibility forward: the attack→inspect loop lives in the
+    façade's shared engine (:func:`repro.api.session.iter_method_events`),
+    which also streams per-victim events for callers that want progress.
     """
-    config = case.config
-    k = int(detection_k or config.detection_k)
+    from repro.api.session import evaluate_method
 
-    def evaluate_one(victim):
-        budget = min(victim.budget, config.budget_cap)
-        result = attack.attack_one(
-            case.graph,
-            VictimSpec(victim.node, victim.target_label, budget),
-            locality=locality,
-        )
-        if result.added_edges:
-            explainer = explainer_factory(result.perturbed_graph)
-            explanation = explainer.explain_node(
-                result.perturbed_graph, victim.node
-            )
-            ranked = explanation.ranking()[: config.explanation_size]
-            report = detection_report(
-                _TruncatedExplanation(ranked), result.added_edges, k=k
-            )
-        else:
-            report = {
-                "precision": 0.0,
-                "recall": 0.0,
-                "f1": 0.0,
-                "ndcg": 0.0,
-            }
-        row = {
-            "node": victim.node,
-            "degree": victim.degree,
-            "target_label": victim.target_label,
-            "hit_target": result.hit_target,
-            "misclassified": result.misclassified,
-            **report,
-        }
-        # Inspection is done: drop the per-victim perturbed graph so a
-        # process-pool run doesn't pickle (and the parent retain) a full
-        # graph copy per victim — aggregation only reads the scalars.
-        result.perturbed_graph = None
-        return result, report, row
-
-    outcomes = parallel_map(evaluate_one, victims, jobs=jobs)
-    results = [result for result, _, _ in outcomes]
-    reports = [report for _, report, _ in outcomes]
-    per_victim = [row for _, _, row in outcomes]
-
-    return MethodEvaluation(
-        method=attack.name,
-        asr=attack_success_rate(results),
-        asr_t=attack_success_rate_targeted(results),
-        per_victim=per_victim,
-        **summarize_reports(reports),
+    return evaluate_method(
+        case,
+        attack,
+        victims,
+        explainer_factory,
+        detection_k=detection_k,
+        jobs=jobs,
+        locality=locality,
     )
 
 

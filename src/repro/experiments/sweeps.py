@@ -2,20 +2,16 @@
 
 Each sweep runs GEAttack over the victim set at a grid of one knob and
 reports the paper's metrics per grid point, reproducing the figure series.
+
+Execution lives in the façade: the three sweep functions forward to
+:func:`repro.api.session.sweep_points` (one shared attack→inspect engine,
+streaming per-victim events, ``jobs``-aware).  This module keeps the
+result type (:class:`SweepPoint`) and the paper's search grids.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-from repro.attacks import GEAttack, VictimSpec
-from repro.experiments.reporting import summarize_reports
-from repro.explain import GNNExplainer
-from repro.metrics import (
-    attack_success_rate_targeted,
-    detection_report,
-)
-from repro.parallel import parallel_map
 
 __all__ = [
     "SweepPoint",
@@ -46,43 +42,6 @@ class SweepPoint:
     extras: dict = field(default_factory=dict)
 
 
-def _attack_and_inspect(case, victims, attack, explainer_factory, k, size, jobs=1):
-    """Shared attack→inspect loop; returns (results, reports).
-
-    Per-victim work is independent and seeded by the victim node, so it is
-    fanned out over ``jobs`` worker processes with deterministic results.
-    """
-    config = case.config
-
-    def run_one(victim):
-        budget = min(victim.budget, config.budget_cap)
-        result = attack.attack_one(
-            case.graph, VictimSpec(victim.node, victim.target_label, budget)
-        )
-        if not result.added_edges:
-            result.perturbed_graph = None
-            return result, None
-        explainer = explainer_factory(result.perturbed_graph)
-        explanation = explainer.explain_node(result.perturbed_graph, victim.node)
-        ranked = explanation.ranking()[: int(size)]
-        # Keep pool transfers graph-free: aggregation reads scalars only.
-        result.perturbed_graph = None
-        return result, detection_report(_Ranked(ranked), result.added_edges, k=k)
-
-    outcomes = parallel_map(run_one, victims, jobs=jobs)
-    results = [result for result, _ in outcomes]
-    reports = [report for _, report in outcomes if report is not None]
-    return results, reports
-
-
-def _summaries(value, results, reports):
-    return SweepPoint(
-        value=float(value),
-        asr_t=attack_success_rate_targeted(results),
-        **summarize_reports(reports),
-    )
-
-
 def lambda_sweep(
     case, victims, lambdas=PAPER_LAMBDA_GRID, explainer_factory=None, jobs=1
 ):
@@ -92,56 +51,32 @@ def lambda_sweep(
     EXPERIMENTS.md for the mapping to the paper's axis (λ is coupled to the
     inner step size η, so only the *shape* is comparable).
     """
-    config = case.config
-    explainer_factory = explainer_factory or _default_factory(case)
-    points = []
-    for lam in lambdas:
-        attack = GEAttack(
-            case.model,
-            seed=case.seed + 51,
-            lam=float(lam),
-            inner_steps=config.geattack_inner_steps,
-            inner_lr=config.geattack_inner_lr,
-        )
-        results, reports = _attack_and_inspect(
-            case,
-            victims,
-            attack,
-            explainer_factory,
-            config.detection_k,
-            config.explanation_size,
-            jobs=jobs,
-        )
-        points.append(_summaries(lam, results, reports))
-    return points
+    from repro.api.session import sweep_points
+
+    return sweep_points(
+        case,
+        victims,
+        "lambda",
+        values=lambdas,
+        explainer_factory=explainer_factory,
+        jobs=jobs,
+    )
 
 
 def inner_steps_sweep(
     case, victims, steps=PAPER_T_GRID, explainer_factory=None, jobs=1
 ):
     """Figure 6: GEAttack detectability as a function of inner steps T."""
-    config = case.config
-    explainer_factory = explainer_factory or _default_factory(case)
-    points = []
-    for t in steps:
-        attack = GEAttack(
-            case.model,
-            seed=case.seed + 52,
-            lam=config.geattack_lam,
-            inner_steps=int(t),
-            inner_lr=config.geattack_inner_lr,
-        )
-        results, reports = _attack_and_inspect(
-            case,
-            victims,
-            attack,
-            explainer_factory,
-            config.detection_k,
-            config.explanation_size,
-            jobs=jobs,
-        )
-        points.append(_summaries(t, results, reports))
-    return points
+    from repro.api.session import sweep_points
+
+    return sweep_points(
+        case,
+        victims,
+        "inner-steps",
+        values=steps,
+        explainer_factory=explainer_factory,
+        jobs=jobs,
+    )
 
 
 def subgraph_size_sweep(
@@ -154,63 +89,13 @@ def subgraph_size_sweep(
     Detection rises while L < K and plateaus once L ≥ K — the paper's
     "cannot keep increasing past ≈ 20" observation.
     """
-    config = case.config
-    explainer_factory = explainer_factory or _default_factory(case)
-    attack = GEAttack(
-        case.model,
-        seed=case.seed + 53,
-        lam=config.geattack_lam,
-        inner_steps=config.geattack_inner_steps,
-        inner_lr=config.geattack_inner_lr,
+    from repro.api.session import sweep_points
+
+    return sweep_points(
+        case,
+        victims,
+        "subgraph-size",
+        values=sizes,
+        explainer_factory=explainer_factory,
+        jobs=jobs,
     )
-
-    def run_one(victim):
-        budget = min(victim.budget, config.budget_cap)
-        result = attack.attack_one(
-            case.graph, VictimSpec(victim.node, victim.target_label, budget)
-        )
-        if not result.added_edges:
-            result.perturbed_graph = None
-            return result, None
-        explainer = explainer_factory(result.perturbed_graph)
-        explanation = explainer.explain_node(result.perturbed_graph, victim.node)
-        # Keep pool transfers graph-free: aggregation reads scalars only.
-        result.perturbed_graph = None
-        return result, (explanation.ranking(), result.added_edges)
-
-    outcomes = parallel_map(run_one, victims, jobs=jobs)
-    results = [result for result, _ in outcomes]
-    cached = [payload for _, payload in outcomes if payload is not None]
-
-    points = []
-    for size in sizes:
-        reports = [
-            detection_report(_Ranked(ranked[: int(size)]), edges, k=config.detection_k)
-            for ranked, edges in cached
-        ]
-        points.append(_summaries(size, results, reports))
-    return points
-
-
-def _default_factory(case):
-    config = case.config
-
-    def factory(_graph):
-        return GNNExplainer(
-            case.model,
-            epochs=config.explainer_epochs,
-            lr=config.explainer_lr,
-            seed=case.seed + 41,
-        )
-
-    return factory
-
-
-class _Ranked:
-    """Minimal Explanation-like wrapper over a pre-ranked edge list."""
-
-    def __init__(self, ranked):
-        self._ranked = list(ranked)
-
-    def ranking(self):
-        return self._ranked

@@ -1,34 +1,23 @@
-"""Table 1 / Table 2 runners: all attack methods × all metrics, mean ± std.
+"""Table 1 / Table 2 result types and the legacy ``run_comparison`` entry.
 
 Table 1 inspects with GNNExplainer on CITESEER / CORA / ACM; Table 2 swaps
 the inspector (and GEAttack's simulated explainer) for PGExplainer on
 CITESEER.  Aggregation is over ``config.num_seeds`` independent runs, as the
 paper reports 5-run averages with standard deviations.
+
+Execution lives in the façade: :func:`run_comparison` forwards to
+:meth:`repro.api.Session.table`, which builds every method from the
+self-describing attack registry and streams per-victim events.  This
+module keeps the result container (:class:`ComparisonResult`), the
+paper's column/metric ordering, and the aggregation helpers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
-
-from repro.attacks import (
-    FGA,
-    FGATargeted,
-    FGATExplainerEvasion,
-    GEAttack,
-    GEAttackPG,
-    IGAttack,
-    Nettack,
-    RandomAttack,
-)
-from repro.experiments.pipeline import (
-    derive_target_labels,
-    evaluate_attack_method,
-    prepare_case,
-    select_victims,
-)
-from repro.explain import GNNExplainer, PGExplainer
 
 __all__ = [
     "METHOD_ORDER",
@@ -74,49 +63,57 @@ class ComparisonResult:
 
 
 def paper_attacks(case, pg_explainer=None):
-    """Instantiate the seven attacks of Table 1 at the config operating point.
+    """Deprecated: instantiate the seven attacks of Table 1.
 
-    When ``pg_explainer`` is given, GEAttack targets PGExplainer instead
-    (Table 2, Section 5.3).
+    .. deprecated::
+        Use :func:`repro.api.registry.build_attack` (or
+        ``AttackSpec.build``) per method — construction recipes now live
+        in the registry, generated from each attack's declared
+        ``config_params`` schema.  This shim forwards there, preserving
+        the historical list order and the Table-2 rename of the PG
+        variant.
     """
-    config = case.config
-    model = case.model
-    seed = case.seed + 21
-    if pg_explainer is None:
-        joint = GEAttack(
-            model,
-            seed=seed,
-            lam=config.geattack_lam,
-            inner_steps=config.geattack_inner_steps,
-            inner_lr=config.geattack_inner_lr,
-        )
-    else:
-        joint = GEAttackPG(
-            model,
-            pg_explainer,
-            seed=seed,
-            lam=config.geattack_lam,
-            inner_steps=min(config.geattack_inner_steps, 2),
-        )
-        joint.name = "GEAttack"
-    return [
-        FGA(model, seed=seed),
-        RandomAttack(model, seed=seed),
-        FGATargeted(model, seed=seed),
-        Nettack(model, seed=seed),
-        IGAttack(model, seed=seed),
-        FGATExplainerEvasion(
-            model,
-            seed=seed,
-            explainer_epochs=config.explainer_epochs,
-            explanation_size=config.explanation_size,
-        ),
-        joint,
-    ]
+    warnings.warn(
+        "repro.experiments.table_runner.paper_attacks is deprecated; build "
+        "attacks through repro.api (registry.build_attack / AttackSpec.build)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.registry import build_attack
+
+    attacks = []
+    for name in METHOD_ORDER:
+        if name == "GEAttack" and pg_explainer is not None:
+            attack = build_attack(
+                "GEAttack-PG",
+                case,
+                case.config,
+                context=_ConstantPG(pg_explainer),
+            )
+            attack.name = "GEAttack"
+        else:
+            attack = build_attack(name, case, case.config)
+        attacks.append(attack)
+    return attacks
+
+
+class _ConstantPG:
+    """Minimal session-context shim around an already-fitted PGExplainer."""
+
+    def __init__(self, pg_explainer):
+        self._pg = pg_explainer
+
+    def pg_explainer(self, _case):
+        return self._pg
 
 
 def run_comparison(dataset, config, explainer="gnn", methods=None, jobs=1):
     """Full Table 1 / Table 2 comparison on one dataset.
+
+    Forwards to the façade: equivalent to
+    ``Session(config=config, jobs=jobs).table(dataset, explainer,
+    methods)``.  See :class:`repro.api.Session` for the streaming event
+    interface this drains.
 
     Parameters
     ----------
@@ -136,35 +133,11 @@ def run_comparison(dataset, config, explainer="gnn", methods=None, jobs=1):
     -------
     ComparisonResult
     """
-    wanted = set(methods or METHOD_ORDER)
-    result = ComparisonResult(dataset=dataset, explainer=explainer)
-    for run_index in range(config.num_seeds):
-        case = prepare_case(dataset, config, seed=config.seed + 100 * run_index)
-        victims = derive_target_labels(case, select_victims(case))
-        if not victims:
-            continue
-        pg = None
-        if explainer == "pg":
-            pg = PGExplainer(
-                case.model,
-                epochs=config.pg_epochs,
-                seed=case.seed + 31,
-            ).fit(case.graph, instances=config.pg_instances)
-            factory = _constant_factory(pg)
-        else:
-            factory = _gnn_factory(case, config)
-        evaluations = {}
-        for attack in paper_attacks(case, pg_explainer=pg):
-            if attack.name not in wanted:
-                continue
-            evaluation = evaluate_attack_method(
-                case, attack, victims, factory, jobs=jobs
-            )
-            if attack.name == "FGA":
-                evaluation.asr_t = float("nan")  # paper reports "-"
-            evaluations[attack.name] = evaluation
-        result.runs.append(evaluations)
-    return result
+    from repro.api.session import Session
+
+    return Session(config=config, jobs=jobs).table(
+        dataset, explainer=explainer, methods=methods
+    )
 
 
 def aggregate_runs(runs, method, metric):
@@ -177,22 +150,3 @@ def aggregate_runs(runs, method, metric):
     if not values:
         return float("nan"), float("nan")
     return float(np.mean(values)), float(np.std(values))
-
-
-def _gnn_factory(case, config):
-    def factory(_graph):
-        return GNNExplainer(
-            case.model,
-            epochs=config.explainer_epochs,
-            lr=config.explainer_lr,
-            seed=case.seed + 41,
-        )
-
-    return factory
-
-
-def _constant_factory(explainer):
-    def factory(_graph):
-        return explainer
-
-    return factory

@@ -1,0 +1,84 @@
+"""Declarative config-parameter schema shared across registries.
+
+A :class:`ConfigParam` states, as pure data, how one knob of a registered
+component (attack, defense, explainer) is fed from an
+:class:`repro.experiments.ExperimentConfig`: the constructor-keyword name,
+the config attribute that supplies it, and an optional cap applied to the
+config value.  Components declare a ``config_params`` tuple on the class;
+everything downstream is *generated* from those declarations:
+
+* the content-addressed store keys of :mod:`repro.arena.grid` (the scoped
+  per-attack parameter dict that used to be a hand-maintained ``if``
+  ladder),
+* constructor wiring in :mod:`repro.api.registry` (``build`` factories),
+* the ``python -m repro describe`` schema listing.
+
+This module sits below every registry (stdlib-only imports) so attacks,
+defenses and explainers can all declare schemas without layering cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConfigParam", "resolve_params", "schema_rows"]
+
+
+@dataclass(frozen=True)
+class ConfigParam:
+    """One config-fed knob of a registered component.
+
+    Attributes
+    ----------
+    name:
+        The constructor keyword *and* the field name inside content-key
+        parameter dicts (the two must agree so one serialization serves
+        both construction and storage).
+    config_key:
+        The :class:`~repro.experiments.ExperimentConfig` attribute whose
+        value feeds this knob.
+    cap:
+        Optional upper bound: the resolved value is ``min(config value,
+        cap)``.  Used where a runner clamps the effective operating point
+        (e.g. GEAttack-PG's unroll depth), so the content key hashes what
+        actually ran.
+    constructor:
+        ``False`` for knobs that shape a *dependency* rather than the
+        component's own constructor (e.g. the PGExplainer training
+        schedule behind GEAttack-PG).  Such knobs still enter the content
+        key — they determine results — but are never passed as kwargs.
+    """
+
+    name: str
+    config_key: str
+    cap: int | None = None
+    constructor: bool = True
+
+    def resolve(self, config):
+        """The effective value of this knob under ``config``."""
+        value = getattr(config, self.config_key)
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+
+def resolve_params(params, config):
+    """``{name: resolved value}`` for a ``config_params`` declaration."""
+    return {param.name: param.resolve(config) for param in params}
+
+
+def schema_rows(params, config=None):
+    """JSON-safe description of a declaration (for ``describe``)."""
+    rows = []
+    for param in params:
+        row = {
+            "name": param.name,
+            "config_key": param.config_key,
+            "constructor": param.constructor,
+        }
+        if param.cap is not None:
+            row["cap"] = param.cap
+        if config is not None:
+            row["value"] = param.resolve(config)
+        rows.append(row)
+    return rows

@@ -1,0 +1,98 @@
+"""Migration contract: legacy builders are shims, internal paths are clean.
+
+Two halves:
+
+1. ``paper_attacks`` and ``build_arena_attack`` survive only as
+   deprecation shims — they warn, and they forward to registry builds
+   that produce equivalently-configured attacks.
+2. Internal code never calls the legacy paths: running a table, a sweep
+   and an arena cell with ``repro``-scoped DeprecationWarnings escalated
+   to errors completes cleanly (CI runs the whole tier-1 suite under the
+   same filter).
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Session, build_attack
+from repro.arena import ResultStore, ScenarioGrid
+from repro.arena.runner import build_arena_attack
+from repro.experiments import SCALE_PRESETS
+from repro.experiments.table_runner import METHOD_ORDER, paper_attacks
+
+CONFIG = replace(
+    SCALE_PRESETS["smoke"],
+    epochs=40,
+    num_victims=2,
+    margin_group=1,
+    explainer_epochs=10,
+    geattack_inner_steps=1,
+    pg_epochs=2,
+    pg_instances=2,
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def case(session):
+    return session.case("cora")
+
+
+class TestDeprecatedShims:
+    def test_paper_attacks_warns_and_forwards(self, case):
+        with pytest.warns(DeprecationWarning, match="repro.experiments"):
+            attacks = paper_attacks(case)
+        assert [a.name for a in attacks] == METHOD_ORDER
+        for attack in attacks:
+            assert attack.seed == case.seed + 21
+
+    def test_build_arena_attack_warns_and_forwards(self, case):
+        with pytest.warns(DeprecationWarning, match="repro.arena"):
+            legacy = build_arena_attack("GEAttack", case, CONFIG)
+        modern = build_attack("GEAttack", case, CONFIG)
+        assert type(legacy) is type(modern)
+        assert (legacy.seed, legacy.lam, legacy.inner_steps, legacy.inner_lr) == (
+            modern.seed,
+            modern.lam,
+            modern.inner_steps,
+            modern.inner_lr,
+        )
+
+    def test_build_arena_attack_unknown_name(self, case):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError, match="unknown attack"):
+                build_arena_attack("FGA-X", case, CONFIG)
+
+
+class TestInternalPathsAreClean:
+    """repro-scoped DeprecationWarnings escalate — nothing may trip them."""
+
+    @pytest.fixture(autouse=True)
+    def escalate_repro_deprecations(self):
+        with warnings.catch_warnings():
+            warnings.filterwarnings(
+                "error", message="repro", category=DeprecationWarning
+            )
+            yield
+
+    def test_table_path(self, session):
+        comparison = session.table("cora", methods=("RNA",))
+        assert comparison.runs
+
+    def test_sweep_path(self, session):
+        points = session.sweep("inner-steps", "cora", values=(1,))
+        assert len(points) == 1
+
+    def test_arena_path(self, session, tmp_path):
+        grid = ScenarioGrid(
+            attacks=("FGA-T",), defenses=("none",), budget_caps=(2,), seeds=(0,)
+        )
+        run = session.arena(grid, ResultStore(tmp_path / "store"))
+        assert run.executed >= 0
+        assert len(run.evaluations) == grid.num_cells

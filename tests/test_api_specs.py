@@ -1,0 +1,236 @@
+"""Spec round-trips and store-key compatibility of the repro.api façade.
+
+Two contracts guard the refactor:
+
+1. **Round-trip exactness** — ``Spec.from_dict(spec.to_dict()) == spec``
+   for every registered attack, defense and explainer (and the composite
+   ``ScenarioSpec``), so specs can travel through JSON losslessly.
+2. **Store-key compatibility** — spec-derived cell configs hash to
+   byte-identical content keys as the pre-refactor hand-maintained
+   implementation (frozen below), so arena stores written before the spec
+   layer existed stay warm after it.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api.registry import EXPLAINERS, attack_spec, defense_spec, scenario_spec
+from repro.api.specs import (
+    SCHEMA_VERSION,
+    AttackSpec,
+    DatasetSpec,
+    DefenseSpec,
+    EvalSpec,
+    ExplainerSpec,
+    ModelSpec,
+    ScenarioSpec,
+    VictimPolicy,
+)
+from repro.arena.grid import ScenarioCell, canonical_json, cell_config, victim_key
+from repro.attacks import ATTACKS, EXTENSION_ATTACKS, AttackResult, VictimSpec
+from repro.datasets import load_dataset
+from repro.defense import DEFENSES
+from repro.experiments import SCALE_PRESETS, ExperimentConfig
+
+SMOKE = SCALE_PRESETS["smoke"]
+#: A second operating point, to prove keys react to every scoped knob.
+TWEAKED = ExperimentConfig(
+    dataset_scale=0.08,
+    geattack_lam=1.5,
+    geattack_inner_steps=7,
+    geattack_inner_lr=0.2,
+    explainer_epochs=33,
+    explanation_size=11,
+    pg_epochs=4,
+    pg_instances=3,
+)
+
+EDGE_ATTACKS = sorted({**ATTACKS, **EXTENSION_ATTACKS})
+
+
+def legacy_attack_params(name, config):
+    """Frozen copy of the pre-refactor ``arena.grid._attack_params``."""
+    if name == "GEAttack":
+        return {
+            "lam": config.geattack_lam,
+            "inner_steps": config.geattack_inner_steps,
+            "inner_lr": config.geattack_inner_lr,
+        }
+    if name == "GEAttack-PG":
+        return {
+            "lam": config.geattack_lam,
+            "inner_steps": min(config.geattack_inner_steps, 2),
+            "pg_epochs": config.pg_epochs,
+            "pg_instances": config.pg_instances,
+        }
+    if name == "FGA-T&E":
+        return {
+            "explainer_epochs": config.explainer_epochs,
+            "explanation_size": config.explanation_size,
+        }
+    return {}
+
+
+def legacy_cell_config(cell, config):
+    """Frozen copy of the pre-refactor ``arena.grid.cell_config``."""
+    return {
+        "schema": 1,
+        "dataset": {"name": cell.dataset, "scale": config.dataset_scale},
+        "model": {
+            "hidden": cell.hidden,
+            "epochs": config.epochs,
+            "learning_rate": config.learning_rate,
+            "weight_decay": config.weight_decay,
+            "dropout": config.dropout,
+        },
+        "victim_protocol": {
+            "num_victims": config.num_victims,
+            "margin_group": config.margin_group,
+            "min_degree": config.min_degree,
+            "max_degree": config.max_degree,
+        },
+        "attack": {"name": cell.attack, **legacy_attack_params(cell.attack, config)},
+        "budget_cap": cell.budget_cap,
+        "seed": cell.seed,
+    }
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", EDGE_ATTACKS)
+    @pytest.mark.parametrize("config", [SMOKE, TWEAKED], ids=["smoke", "tweaked"])
+    def test_attack_spec_round_trip(self, name, config):
+        spec = attack_spec(name, config)
+        assert AttackSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", sorted(DEFENSES))
+    def test_defense_spec_round_trip(self, name):
+        spec = defense_spec(name, SMOKE)
+        assert DefenseSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("kind", sorted(EXPLAINERS))
+    def test_explainer_spec_round_trip(self, kind):
+        recipe = EXPLAINERS[kind]
+        spec = ExplainerSpec(
+            kind, {p.name: p.resolve(SMOKE) for p in recipe.params}
+        )
+        assert ExplainerSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            DatasetSpec("acm", 0.25),
+            ModelSpec.from_config(TWEAKED, hidden=48),
+            VictimPolicy.from_config(TWEAKED),
+            EvalSpec.from_config(TWEAKED),
+        ],
+        ids=lambda spec: type(spec).__name__,
+    )
+    def test_simple_spec_round_trip(self, spec):
+        assert type(spec).from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", EDGE_ATTACKS)
+    def test_scenario_spec_round_trip(self, name):
+        spec = scenario_spec(ScenarioCell("citeseer", 32, name, 5, 3), TWEAKED)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_scenario_spec_rejects_other_schema(self):
+        data = scenario_spec(
+            ScenarioCell("cora", 16, "FGA", 3, 0), SMOKE
+        ).to_dict()
+        data["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            ScenarioSpec.from_dict(data)
+
+    def test_with_params_overrides(self):
+        spec = attack_spec("GEAttack", SMOKE)
+        bumped = spec.with_params(lam=2.5)
+        assert dict(bumped.params)["lam"] == 2.5
+        assert dict(bumped.params)["inner_steps"] == SMOKE.geattack_inner_steps
+        assert dict(spec.params)["lam"] == SMOKE.geattack_lam  # original frozen
+
+    def test_params_canonical_order(self):
+        a = AttackSpec("X", {"b": 1, "a": 2})
+        b = AttackSpec("X", (("a", 2), ("b", 1)))
+        assert a == b
+
+
+class TestStoreKeyCompatibility:
+    """Old stores must stay warm: spec-derived keys ≡ pre-refactor keys."""
+
+    @pytest.mark.parametrize("name", EDGE_ATTACKS)
+    @pytest.mark.parametrize("config", [SMOKE, TWEAKED], ids=["smoke", "tweaked"])
+    def test_cell_config_bytes_match_legacy(self, name, config):
+        cell = ScenarioCell("cora", 16, name, 3, 0)
+        assert canonical_json(cell_config(cell, config)) == canonical_json(
+            legacy_cell_config(cell, config)
+        )
+
+    @pytest.mark.parametrize("name", EDGE_ATTACKS)
+    def test_victim_keys_bytes_match_legacy(self, name):
+        cell = ScenarioCell("citeseer", 24, name, 4, 7)
+        victim = VictimSpec(node=11, target_label=2, budget=3)
+        assert victim_key(cell_config(cell, SMOKE), victim) == victim_key(
+            legacy_cell_config(cell, SMOKE), victim
+        )
+
+    def test_scoped_invalidation(self):
+        """Changing a GEAttack knob must not move Nettack's keys."""
+        cell_ge = ScenarioCell("cora", 16, "GEAttack", 3, 0)
+        cell_ne = ScenarioCell("cora", 16, "Nettack", 3, 0)
+        bumped = replace(SMOKE, geattack_lam=9.9)
+        assert canonical_json(cell_config(cell_ge, SMOKE)) != canonical_json(
+            cell_config(cell_ge, bumped)
+        )
+        assert canonical_json(cell_config(cell_ne, SMOKE)) == canonical_json(
+            cell_config(cell_ne, bumped)
+        )
+
+
+class TestFromDictGuard:
+    """AttackResult.from_dict refuses to replay edges on the wrong graph."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("cora", scale=0.06, seed=0)
+
+    def payload(self, node, edges):
+        return {
+            "target_node": node,
+            "target_label": 1,
+            "original_prediction": 0,
+            "final_prediction": 1,
+            "added_edges": edges,
+            "history": [],
+            "score_trace": [],
+        }
+
+    def test_matching_graph_replays(self, graph):
+        result = AttackResult.from_dict(
+            self.payload(3, [[3, 5]]), graph=graph
+        )
+        assert result.perturbed_graph is not None
+        assert (3, 5) in result.perturbed_graph.edge_set()
+
+    def test_victim_out_of_range_raises(self, graph):
+        with pytest.raises(ValueError, match="different graph"):
+            AttackResult.from_dict(
+                self.payload(graph.num_nodes + 4, [[0, 1]]), graph=graph
+            )
+
+    def test_edge_endpoint_out_of_range_raises(self, graph):
+        with pytest.raises(ValueError, match="wrong graph"):
+            AttackResult.from_dict(
+                self.payload(0, [[0, graph.num_nodes]]), graph=graph
+            )
+
+    def test_history_endpoint_out_of_range_raises(self, graph):
+        data = self.payload(0, [])
+        data["history"] = [["removed", [1, graph.num_nodes + 2]]]
+        with pytest.raises(ValueError, match="wrong graph"):
+            AttackResult.from_dict(data, graph=graph)
+
+    def test_metrics_only_use_needs_no_graph(self, graph):
+        result = AttackResult.from_dict(self.payload(10 ** 9, [[0, 10 ** 9]]))
+        assert result.perturbed_graph is None
+        assert result.misclassified

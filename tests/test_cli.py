@@ -1,5 +1,7 @@
 """CLI: parser wiring and end-to-end command execution (smoke scale)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -67,3 +69,31 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Occlusion" in out
         assert "GNNExplainer" in out
+
+
+class TestDescribe:
+    def test_describe_parses(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.command == "describe"
+        assert not args.json
+
+    def test_describe_lists_generated_schemas(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        # every registered attack/defense/explainer appears with its schema
+        for name in ("GEAttack", "Nettack", "FGA-T&E", "Metattack"):
+            assert name in out
+        for name in ("jaccard", "svd", "explainer"):
+            assert name in out
+        assert "lam <- config.geattack_lam" in out
+        assert "inspection_window <- config.explanation_size" in out
+        assert "requires: pg_explainer" in out
+
+    def test_describe_json_is_machine_readable(self, capsys):
+        assert main(["describe", "--json"]) == 0
+        schema = json.loads(capsys.readouterr().out)
+        assert set(schema) == {"attacks", "defenses", "explainers"}
+        geattack = schema["attacks"]["GEAttack"]
+        assert {"name": "lam", "config_key": "geattack_lam",
+                "constructor": True, "value": 0.7} in geattack["params"]
+        assert schema["defenses"]["none"]["params"] == []
