@@ -1,12 +1,27 @@
-"""Arena quickstart: a resumable attack × defense robustness matrix.
+"""Arena quickstart: a resumable attack × defense × threat-model matrix.
 
 Runs a small scenario grid twice against the same content-addressed result
-store to demonstrate the arena's two contracts:
+store to demonstrate the arena's contracts:
 
 1. every per-victim attack result is persisted under a canonical config
    hash, so the second run executes **zero** attacks;
 2. the rendered evasion/detection matrices are **byte-identical** between
-   the cold and the warm run — resumption is exact, not approximate.
+   the cold and the warm run — resumption is exact, not approximate;
+3. the threat axis rides the same store: the historical white-box
+   oblivious cells keep their pre-threat-axis keys, while the surrogate
+   (black-box transfer) and adaptive (defense-aware) cells are new keys —
+   adding threats to an old store only executes the new cells.
+
+The grid below spans three threat models per attack:
+
+* ``white_box+oblivious`` — the historical setting (attacker holds the
+  victim model, ignores the defense);
+* ``surrogate`` — the attacker only holds an independently trained GCN
+  and transfers its perturbations to the true victim (the rendered
+  "Surrogate transfer gap" matrix is white-box minus surrogate evasion);
+* ``adaptive:jaccard`` — the attacker plays defense-in-the-loop against
+  Jaccard sanitization (the "Adaptive evasion delta" matrix shows what
+  optimizing through the defense buys).
 
 Usage::
 
@@ -14,8 +29,9 @@ Usage::
 
 CLI equivalent (resumable across shell sessions)::
 
-    python -m repro arena --attacks FGA-T,Nettack,GEAttack \
-        --defenses none,jaccard,explainer --store arena-store --resume
+    python -m repro arena --attacks FGA-T,GEAttack \
+        --defenses none,jaccard,explainer --store arena-store --resume \
+        --threat white_box+oblivious --threat surrogate --threat adaptive:jaccard
 """
 
 import argparse
@@ -37,14 +53,15 @@ def main():
     args = parser.parse_args()
 
     grid = ScenarioGrid(
-        attacks=("FGA-T", "Nettack", "GEAttack"),
+        attacks=("FGA-T", "GEAttack"),
         defenses=("none", "jaccard", "explainer"),
         budget_caps=(3,),
         seeds=(0,),
+        threats=("white_box+oblivious", "surrogate", "adaptive:jaccard"),
     )
     store = ResultStore(args.store)
-    # One Session owns the trained models and the process pool; both runs
-    # below share its caches.
+    # One Session owns the trained models (victim AND surrogate) and the
+    # process pool; both runs below share its caches.
     session = Session(config=SCALE_PRESETS["smoke"], jobs=args.jobs)
 
     print(f"== cold run ({grid.num_cells} cells) ==")

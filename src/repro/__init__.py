@@ -25,9 +25,12 @@ Subpackages
     The typed Session/Spec façade — the one supported front door for
     building, executing and streaming experiments (tables, sweeps, the
     robustness arena).
+``repro.threat``
+    Threat-model execution: surrogate-transfer (black-box) and
+    preprocess-aware (adaptive) attack runs over the same attack registry.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import (
     api,
@@ -39,6 +42,7 @@ from repro import (
     graph,
     metrics,
     nn,
+    threat,
 )
 
 __all__ = [
@@ -51,5 +55,6 @@ __all__ = [
     "graph",
     "metrics",
     "nn",
+    "threat",
     "__version__",
 ]

@@ -44,6 +44,7 @@ _EXPORTS = {
     "ExplainerSpec": "repro.api.specs",
     "ModelSpec": "repro.api.specs",
     "ScenarioSpec": "repro.api.specs",
+    "ThreatModel": "repro.api.specs",
     "VictimPolicy": "repro.api.specs",
     "TableExperiment": "repro.api.specs",
     "SweepExperiment": "repro.api.specs",
@@ -52,6 +53,7 @@ _EXPORTS = {
     "EXPLAINERS": "repro.api.registry",
     "attack_spec": "repro.api.registry",
     "attack_params": "repro.api.registry",
+    "attacker_case": "repro.api.registry",
     "build_attack": "repro.api.registry",
     "defense_spec": "repro.api.registry",
     "build_defense": "repro.api.registry",

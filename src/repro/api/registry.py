@@ -28,7 +28,7 @@ import inspect
 from dataclasses import dataclass
 
 from repro.api.specs import AttackSpec, DefenseSpec, ExplainerSpec, ScenarioSpec
-from repro.api.specs import DatasetSpec, ModelSpec, VictimPolicy
+from repro.api.specs import DatasetSpec, ModelSpec, ThreatModel, VictimPolicy
 from repro.attacks import ATTACKS, EXTENSION_ATTACKS, FEATURE_ATTACKS
 from repro.defense import DEFENSES, make_defense
 from repro.explain import (
@@ -46,6 +46,7 @@ __all__ = [
     "attack_class",
     "attack_spec",
     "attack_params",
+    "attacker_case",
     "build_attack",
     "defense_spec",
     "build_defense",
@@ -94,18 +95,26 @@ def attack_params(name, config):
     return attack_class(name).spec_params(config)
 
 
-def build_attack(spec, case, config=None, context=None, seed=None):
+def build_attack(spec, case, config=None, context=None, seed=None, threat=None):
     """Instantiate an attack from a spec (or name) for a prepared case.
 
     ``context`` is any object with the :class:`repro.api.Session` cache
-    protocol (``pg_explainer(case)``); without one, dependencies are
-    fitted fresh per call.  ``seed`` overrides the shared
-    ``case.seed + 21`` construction convention (the sweeps use their own
-    historical offsets).
+    protocol (``pg_explainer(case)``, ``attacker_case(case, threat)``);
+    without one, dependencies are fitted fresh per call.  ``seed``
+    overrides the shared ``case.seed + 21`` construction convention (the
+    sweeps use their own historical offsets).
+
+    ``threat`` (a :class:`~repro.api.specs.ThreatModel` or its string
+    form) selects the attacker's model: under surrogate knowledge the
+    attack — and every dependency it fits, e.g. GEAttack-PG's simulated
+    PGExplainer — is built against an independently trained surrogate of
+    ``case`` instead of the victim model itself.
     """
     config = case.config if config is None else config
     if isinstance(spec, str):
         spec = attack_spec(spec, config)
+    if threat is not None:
+        case = attacker_case(case, threat, context=context)
     cls = attack_class(spec.name)
     dependencies = {}
     if "pg_explainer" in cls.requires:
@@ -115,6 +124,29 @@ def build_attack(spec, case, config=None, context=None, seed=None):
             else fit_pg_explainer(case, config)
         )
     return cls.from_spec(case, spec, dependencies=dependencies, seed=seed)
+
+
+def attacker_case(case, threat, context=None):
+    """The case the attacker actually optimizes against under ``threat``.
+
+    White-box threats return ``case`` itself; surrogate threats return a
+    :func:`repro.threat.surrogate_case` (served from the ``context``'s
+    cache when one is given, so one surrogate training run covers every
+    cell sharing the victim case and surrogate settings).
+    """
+    from repro.api.specs import ThreatModel
+    from repro.threat import surrogate_case
+
+    threat = ThreatModel.parse(threat)
+    if not threat.is_surrogate:
+        return case
+    if context is not None and hasattr(context, "surrogate_case"):
+        return context.surrogate_case(
+            case, hidden=threat.surrogate_hidden, seed=threat.surrogate_seed
+        )
+    return surrogate_case(
+        case, hidden=threat.surrogate_hidden, seed=threat.surrogate_seed
+    )
 
 
 def fit_pg_explainer(case, config, memo=None):
@@ -137,7 +169,15 @@ def fit_pg_explainer(case, config, memo=None):
 
 
 def scenario_spec(cell, config):
-    """Composite :class:`ScenarioSpec` for one arena cell under a config."""
+    """Composite :class:`ScenarioSpec` for one arena cell under a config.
+
+    The cell's threat model is resolved to concrete values (surrogate
+    hidden/seed, adapted-defense operating point) before it enters the
+    spec — store keys always hash resolved threats, so spelling the
+    defaults out and leaving them open produce the same key.
+    """
+    from repro.threat import resolve_threat
+
     return ScenarioSpec(
         dataset=DatasetSpec.from_config(cell.dataset, config),
         model=ModelSpec.from_config(config, hidden=cell.hidden),
@@ -145,6 +185,9 @@ def scenario_spec(cell, config):
         attack=attack_spec(cell.attack, config),
         budget_cap=cell.budget_cap,
         seed=cell.seed,
+        threat=resolve_threat(
+            getattr(cell, "threat", None) or ThreatModel(), config, cell.seed
+        ),
     )
 
 

@@ -49,6 +49,7 @@ from repro.api.registry import (
 )
 from repro.api.specs import (
     ArenaExperiment,
+    DefenseSpec,
     EvalSpec,
     ExplainerSpec,
     SweepExperiment,
@@ -403,6 +404,18 @@ class Session:
         """The case's fitted PGExplainer (one fit per case, memoized)."""
         return fit_pg_explainer(case, self.config, memo=self._memo)
 
+    def surrogate_case(self, case, hidden=None, seed=None):
+        """A surrogate-attacker case for ``case`` (one training, memoized).
+
+        The attacker-side mirror of :meth:`prepared`: an independently
+        trained GCN on the same observed graph (see
+        :func:`repro.threat.surrogate_case`), shared across every arena
+        cell with the same victim case and surrogate settings.
+        """
+        from repro.threat import surrogate_case
+
+        return surrogate_case(case, hidden=hidden, seed=seed, memo=self._memo)
+
     # -- the front door ------------------------------------------------------
     def run(self, experiment):
         """Execute an experiment as a stream of typed per-victim events.
@@ -577,6 +590,12 @@ class Session:
                 raise KeyError(
                     f"unknown defense {name!r}; options: {sorted(DEFENSES)}"
                 )
+        for threat in getattr(grid, "threats", ()):
+            if threat.is_adaptive and threat.defense not in DEFENSES:
+                raise KeyError(
+                    f"unknown adapted defense {threat.defense!r}; "
+                    f"options: {sorted(DEFENSES)}"
+                )
         run = ArenaRun(grid=grid, config=config)
 
         for cell in grid.cells():
@@ -598,9 +617,19 @@ class Session:
             ]
             missing_keys = {key for _, key in missing}
             if missing:
-                attack = build_attack(cell.attack, case, config, context=self)
-                results = attack.attack_many(
-                    case.graph, [spec for spec, _ in missing], jobs=self.jobs
+                from repro.threat import execute_with_threat, resolve_threat
+
+                threat = resolve_threat(cell.threat, config, cell.seed)
+                attack = build_attack(
+                    cell.attack, case, config, context=self, threat=threat
+                )
+                results = execute_with_threat(
+                    attack,
+                    case,
+                    [spec for spec, _ in missing],
+                    threat=threat,
+                    defense=self._attacker_defense(threat, case, cell),
+                    jobs=self.jobs,
                 )
                 run.executed += len(results)
                 for (spec, key), result in zip(missing, results):
@@ -636,6 +665,33 @@ class Session:
                 run.evaluations.append(evaluation)
                 yield CellScored(evaluation)
         yield RunCompleted(run)
+
+    def _attacker_defense(self, threat, case, cell):
+        """The adaptive attacker's simulation of its adapted defense.
+
+        ``None`` for oblivious threats.  The simulation is built over the
+        *attacker's* model — the surrogate under surrogate knowledge; an
+        attacker cannot simulate an inspector around weights it does not
+        hold.  The defender's remaining state is reconstructible: the
+        trusted snapshot is the pre-attack graph the attacker observes
+        anyway, and the prune budget equals the attack budget cap — the
+        attacker's own operating point.
+        """
+        if not threat.is_adaptive:
+            return None
+        from repro.api.registry import attacker_case
+
+        attacker = attacker_case(case, threat, context=self)
+        runtime = {}
+        if threat.defense == "explainer":
+            runtime = {
+                "prune_k": cell.budget_cap,
+                "trusted_edges": case.graph.edge_set(),
+            }
+        spec = DefenseSpec(threat.defense, threat.defense_params)
+        return build_defense(
+            spec, attacker, config=self.config, context=self, **runtime
+        )
 
     def _score_defense(self, cell, defense_name, case, specs, results):
         """Score one defense over a cell's victims (evasion + detection).

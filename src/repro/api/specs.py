@@ -25,6 +25,7 @@ __all__ = [
     "ExplainerSpec",
     "ModelSpec",
     "ScenarioSpec",
+    "ThreatModel",
     "VictimPolicy",
     "TableExperiment",
     "SweepExperiment",
@@ -159,11 +160,18 @@ class AttackSpec(_NamedParamsSpec):
     name: str
     params: tuple = ()
 
-    def build(self, case, config=None, context=None, seed=None):
-        """Instantiate the attack for a prepared case (via the registry)."""
+    def build(self, case, config=None, context=None, seed=None, threat=None):
+        """Instantiate the attack for a prepared case (via the registry).
+
+        ``threat`` (a :class:`ThreatModel`) builds the attack against the
+        attacker's model — a trained surrogate under surrogate knowledge —
+        instead of the victim model itself.
+        """
         from repro.api.registry import build_attack
 
-        return build_attack(self, case, config=config, context=context, seed=seed)
+        return build_attack(
+            self, case, config=config, context=context, seed=seed, threat=threat
+        )
 
 
 @dataclass(frozen=True)
@@ -210,6 +218,173 @@ class ExplainerSpec(_NamedParamsSpec):
         )
 
 
+#: Legal values of :attr:`ThreatModel.knowledge`.
+KNOWLEDGE_LEVELS = ("white_box", "surrogate")
+#: Legal values of :attr:`ThreatModel.adaptivity`.
+ADAPTIVITY_LEVELS = ("oblivious", "preprocess_aware")
+
+
+@dataclass(frozen=True)
+class ThreatModel(_FieldSpec):
+    """What the attacker knows and what it optimizes through.
+
+    Two orthogonal axes:
+
+    * ``knowledge`` — ``"white_box"`` (the attacker holds the victim
+      model itself; the historical setting) or ``"surrogate"`` (the
+      attacker only holds an independently trained GCN with its own
+      ``surrogate_hidden``/``surrogate_seed``; attacks are built against
+      the surrogate and evaluated on the true victim, so every cell
+      carries a real transfer gap).
+    * ``adaptivity`` — ``"oblivious"`` (the attacker optimizes against
+      the raw graph; the historical setting) or ``"preprocess_aware"``
+      (the attacker runs its inner optimization through the named
+      ``defense``'s sanitization view, so Jaccard/SVD purification — or
+      the explainer inspector's anticipated pruning — is part of the
+      attacked objective).
+
+    ``surrogate_hidden``/``surrogate_seed`` may be ``None`` (resolve to
+    the config's hidden width and the cell seed plus the shared surrogate
+    offset; see :func:`repro.threat.resolve_threat`).  ``defense_params``
+    is the adapted defense's scoped operating point, canonicalized like
+    every named-params spec.
+
+    The default instance is the exact historical threat model, and it is
+    *omitted* from :meth:`ScenarioSpec.to_dict` — so every store key ever
+    written before the threat axis existed still resolves bit-for-bit.
+    """
+
+    knowledge: str = "white_box"
+    adaptivity: str = "oblivious"
+    surrogate_hidden: int | None = None
+    surrogate_seed: int | None = None
+    defense: str | None = None
+    defense_params: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "defense_params", _params_tuple(self.defense_params)
+        )
+        if self.knowledge not in KNOWLEDGE_LEVELS:
+            raise ValueError(
+                f"unknown knowledge level {self.knowledge!r}; "
+                f"options: {list(KNOWLEDGE_LEVELS)}"
+            )
+        if self.adaptivity not in ADAPTIVITY_LEVELS:
+            raise ValueError(
+                f"unknown adaptivity level {self.adaptivity!r}; "
+                f"options: {list(ADAPTIVITY_LEVELS)}"
+            )
+        if self.knowledge == "white_box" and (
+            self.surrogate_hidden is not None or self.surrogate_seed is not None
+        ):
+            raise ValueError(
+                "white_box threat models carry no surrogate fields"
+            )
+        if self.adaptivity == "oblivious" and (
+            self.defense is not None or self.defense_params
+        ):
+            raise ValueError("oblivious threat models carry no adapted defense")
+        if self.adaptivity == "preprocess_aware" and self.defense is None:
+            raise ValueError(
+                "preprocess_aware threat models must name the adapted defense"
+            )
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def is_default(self):
+        """Whether this is the exact historical (key-invisible) setting."""
+        return self == ThreatModel()
+
+    @property
+    def is_surrogate(self):
+        return self.knowledge == "surrogate"
+
+    @property
+    def is_adaptive(self):
+        return self.adaptivity == "preprocess_aware"
+
+    def oblivious_twin(self):
+        """The same knowledge level with the adaptivity stripped."""
+        return self.replace(
+            adaptivity="oblivious", defense=None, defense_params=()
+        )
+
+    def white_box_twin(self):
+        """The same adaptivity with full (white-box) model knowledge."""
+        return self.replace(
+            knowledge="white_box", surrogate_hidden=None, surrogate_seed=None
+        )
+
+    def label(self):
+        """Compact axis label, e.g. ``surrogate(h8,s61)+adaptive(jaccard)``."""
+        parts = []
+        if self.is_surrogate:
+            inner = ",".join(
+                text
+                for text, value in (
+                    (f"h{self.surrogate_hidden}", self.surrogate_hidden),
+                    (f"s{self.surrogate_seed}", self.surrogate_seed),
+                )
+                if value is not None
+            )
+            parts.append(f"surrogate({inner})" if inner else "surrogate")
+        else:
+            parts.append("white_box")
+        if self.is_adaptive:
+            parts.append(f"adaptive({self.defense})")
+        else:
+            parts.append("oblivious")
+        return "+".join(parts)
+
+    @classmethod
+    def parse(cls, text):
+        """Parse a CLI threat token into a :class:`ThreatModel`.
+
+        Grammar — ``+``-joined parts, each one of:
+
+        * ``white_box`` / ``oblivious`` — explicit defaults (no-ops);
+        * ``surrogate`` / ``surrogate:h<H>`` / ``surrogate:s<S>`` /
+          ``surrogate:h<H>,s<S>`` — surrogate knowledge, optionally
+          pinning the surrogate's hidden width and/or training seed;
+        * ``adaptive:<defense>`` (alias ``preprocess_aware:<defense>``) —
+          preprocess-aware adaptivity against a registered defense.
+
+        Examples: ``surrogate``, ``adaptive:jaccard``,
+        ``surrogate:h8,s3+adaptive:svd``.
+        """
+        if isinstance(text, cls):
+            return text
+        fields = {}
+        for part in str(text).split("+"):
+            part = part.strip()
+            if part in ("", "white_box", "oblivious"):
+                continue
+            head, _, arg = part.partition(":")
+            if head == "surrogate":
+                fields["knowledge"] = "surrogate"
+                for token in filter(None, (t.strip() for t in arg.split(","))):
+                    if token[0] == "h" and token[1:].isdigit():
+                        fields["surrogate_hidden"] = int(token[1:])
+                    elif token[0] == "s" and token[1:].isdigit():
+                        fields["surrogate_seed"] = int(token[1:])
+                    else:
+                        raise ValueError(
+                            f"bad surrogate token {token!r} in threat {text!r}"
+                            " (expected h<int> or s<int>)"
+                        )
+            elif head in ("adaptive", "preprocess_aware") and arg:
+                fields["adaptivity"] = "preprocess_aware"
+                fields["defense"] = arg
+            else:
+                raise ValueError(
+                    f"bad threat part {part!r} in {text!r}; expected "
+                    "white_box | oblivious | surrogate[:h<H>,s<S>] | "
+                    "adaptive:<defense>"
+                )
+        return cls(**fields)
+
+
 @dataclass(frozen=True)
 class EvalSpec(_FieldSpec):
     """Inspection/evaluation knobs: detection cut-off and window size."""
@@ -232,7 +407,11 @@ class ScenarioSpec:
     The composite spec behind the arena's content-addressed store:
     :meth:`to_dict` produces byte-for-byte the canonical cell config that
     :func:`repro.arena.grid.cell_config` has always hashed, so stores
-    written before this API existed stay warm.
+    written before this API existed stay warm.  The threat axis keeps that
+    guarantee: a default (white-box oblivious) :class:`ThreatModel` is
+    *omitted* from the dict entirely, so pre-threat-axis stores resume
+    with zero re-executed attacks; any non-default threat enters the dict
+    (and hence the key) under ``"threat"``.
     """
 
     dataset: DatasetSpec
@@ -241,9 +420,10 @@ class ScenarioSpec:
     attack: AttackSpec
     budget_cap: int = 3
     seed: int = 0
+    threat: ThreatModel = ThreatModel()
 
     def to_dict(self):
-        return {
+        data = {
             "schema": SCHEMA_VERSION,
             "dataset": self.dataset.to_dict(),
             "model": self.model.to_dict(),
@@ -252,6 +432,9 @@ class ScenarioSpec:
             "budget_cap": self.budget_cap,
             "seed": self.seed,
         }
+        if not self.threat.is_default:
+            data["threat"] = self.threat.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data):
@@ -267,6 +450,11 @@ class ScenarioSpec:
             attack=AttackSpec.from_dict(data["attack"]),
             budget_cap=data["budget_cap"],
             seed=data["seed"],
+            threat=(
+                ThreatModel.from_dict(data["threat"])
+                if "threat" in data
+                else ThreatModel()
+            ),
         )
 
 

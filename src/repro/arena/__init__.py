@@ -1,10 +1,14 @@
 """Robustness arena: the attack × defense scenario matrix.
 
 A declarative :class:`ScenarioGrid` (dataset × model × attack × defense ×
-budget × seed) is scheduled through the batched attack engine, with every
-per-victim :class:`~repro.attacks.AttackResult` persisted in a
-content-addressed :class:`ResultStore` — so an interrupted sweep resumes
-with zero re-executed attacks and renders a byte-identical matrix.
+budget × seed × threat model) is scheduled through the batched attack
+engine, with every per-victim :class:`~repro.attacks.AttackResult`
+persisted in a content-addressed :class:`ResultStore` — so an interrupted
+sweep resumes with zero re-executed attacks and renders a byte-identical
+matrix.  The threat axis (:class:`ThreatModel`, executed by
+:mod:`repro.threat`) adds black-box surrogate transfer and
+defense-in-the-loop adaptive execution per cell; default-threat cells
+keep their historical store keys.
 
 Quick start::
 
@@ -20,6 +24,7 @@ Quick start::
 CLI equivalent: ``python -m repro arena --store arena-store --resume``.
 """
 
+from repro.api.specs import ThreatModel
 from repro.arena.grid import (
     SCHEMA_VERSION,
     ScenarioCell,
@@ -45,6 +50,7 @@ __all__ = [
     "ResultStore",
     "ScenarioCell",
     "ScenarioGrid",
+    "ThreatModel",
     "arena_matrix",
     "build_arena_attack",
     "canonical_json",

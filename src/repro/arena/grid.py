@@ -1,26 +1,31 @@
 """Declarative scenario grids and canonical content-addressed cell keys.
 
-A :class:`ScenarioGrid` spans the arena's six axes — dataset × model
-(hidden width) × attack × defense × budget × seed.  The defense axis is
-evaluation-only: attacks never see the defense, so the unit of *execution*
-(and of storage) is the defense-free :class:`ScenarioCell` plus one victim.
+A :class:`ScenarioGrid` spans the arena's seven axes — dataset × model
+(hidden width) × attack × defense × budget × seed × threat model.  The
+defense axis is evaluation-only for *oblivious* threats: such attacks
+never see the defense, so the unit of *execution* (and of storage) is the
+defense-free :class:`ScenarioCell` plus one victim.  A
+``preprocess_aware`` threat folds its adapted defense into the execution
+itself, which is why the threat model lives on the cell (and in the key),
+not on the evaluation axis.
 
 Every stored result is keyed by a SHA-256 over the **canonical JSON** of
 everything that determines it: dataset generator settings, model
 architecture and training hyperparameters, attack name and operating
-point, victim-selection protocol, budget cap, seed, and the victim itself.
-Two configs that would produce different results can never collide on a
-key, and a key is reproducible across processes and dict orderings — the
-property that makes ``--resume`` sound.
+point, victim-selection protocol, budget cap, seed, threat model (only
+when non-default — the historical keys must not move), and the victim
+itself.  Two configs that would produce different results can never
+collide on a key, and a key is reproducible across processes and dict
+orderings — the property that makes ``--resume`` sound.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.api.specs import SCHEMA_VERSION
+from repro.api.specs import SCHEMA_VERSION, ThreatModel
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -51,19 +56,29 @@ def content_key(payload):
 
 @dataclass(frozen=True)
 class ScenarioCell:
-    """One attack-execution cell of the grid (defense-independent)."""
+    """One attack-execution cell of the grid.
+
+    ``threat`` defaults to the historical white-box oblivious setting, so
+    every pre-threat-axis construction site (and every stored key) is
+    untouched; non-default threats change the execution — and therefore
+    the content key.
+    """
 
     dataset: str
     hidden: int
     attack: str
     budget_cap: int
     seed: int
+    threat: ThreatModel = field(default_factory=ThreatModel)
 
     def label(self):
-        return (
+        base = (
             f"{self.dataset}/h{self.hidden}/{self.attack}"
             f"/Δ{self.budget_cap}/s{self.seed}"
         )
+        if self.threat.is_default:
+            return base
+        return f"{base}/{self.threat.label()}"
 
 
 @dataclass(frozen=True)
@@ -81,6 +96,9 @@ class ScenarioGrid:
     defenses: tuple = ("none", "jaccard", "svd", "explainer")
     budget_caps: tuple = (3,)
     seeds: tuple = (0,)
+    #: Threat-model axis; entries may be :class:`ThreatModel` instances or
+    #: CLI-grammar strings (``"surrogate"``, ``"adaptive:jaccard"``, …).
+    threats: tuple = (ThreatModel(),)
 
     def __post_init__(self):
         for axis in (
@@ -92,16 +110,22 @@ class ScenarioGrid:
             "seeds",
         ):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        object.__setattr__(
+            self,
+            "threats",
+            tuple(ThreatModel.parse(threat) for threat in self.threats),
+        )
 
     def cells(self):
         """All execution cells in deterministic enumeration order."""
         return [
-            ScenarioCell(dataset, hidden, attack, budget_cap, seed)
+            ScenarioCell(dataset, hidden, attack, budget_cap, seed, threat)
             for dataset in self.datasets
             for hidden in self.hidden_dims
             for attack in self.attacks
             for budget_cap in self.budget_caps
             for seed in self.seeds
+            for threat in self.threats
         ]
 
     @property
@@ -112,6 +136,7 @@ class ScenarioGrid:
             * len(self.attacks)
             * len(self.budget_caps)
             * len(self.seeds)
+            * len(self.threats)
         )
 
 

@@ -13,36 +13,59 @@ Three attack × defense matrices tell the paper's joint-attack story:
   attacked victims from the same victims on the clean graph (chance is
   0.5; lower = the attack evades that detector).
 
+A grid with a non-trivial threat axis renders the trio once per threat
+model, then closes with the threat-model deltas:
+
+* **surrogate transfer gap** — white-box evasion minus surrogate-transfer
+  evasion for every surrogate threat whose white-box twin is on the grid
+  (positive = the attack loses something crossing the model gap).
+* **adaptive evasion delta** — preprocess-aware evasion minus oblivious
+  evasion for every adaptive threat whose oblivious twin is on the grid
+  (positive = optimizing through the defense pays).
+
 Rendering is deterministic: cells aggregate with NaN-aware means, floats
 format at fixed precision, and rows/columns follow the grid's declared
-order — so a warm-store resume reproduces the matrix byte-for-byte.
+order — so a warm-store resume reproduces the matrix byte-for-byte, and a
+single-default-threat grid renders the exact historical text.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.specs import ThreatModel
 from repro.experiments.reporting import finite_mean, format_table
 
 __all__ = ["matrix_cells", "arena_matrix", "render_arena_matrices"]
 
 
-def matrix_cells(run, attack, defense):
-    """All evaluations of one (attack, defense) pair across the grid."""
+def _grid_threats(grid):
+    return tuple(getattr(grid, "threats", ())) or (ThreatModel(),)
+
+
+def matrix_cells(run, attack, defense, threat=None):
+    """All evaluations of one (attack, defense) pair across the grid.
+
+    ``threat`` restricts to cells executed under that threat model;
+    ``None`` aggregates across the whole threat axis (the historical
+    behavior, exact for single-threat grids).
+    """
     return [
         evaluation
         for evaluation in run.evaluations
-        if evaluation.cell.attack == attack and evaluation.defense == defense
+        if evaluation.cell.attack == attack
+        and evaluation.defense == defense
+        and (threat is None or evaluation.cell.threat == threat)
     ]
 
 
-def arena_matrix(run, metric):
+def arena_matrix(run, metric, threat=None):
     """``{attack: {defense: mean metric}}`` over datasets/budgets/seeds."""
     return {
         attack: {
             defense: finite_mean(
                 getattr(evaluation, metric)
-                for evaluation in matrix_cells(run, attack, defense)
+                for evaluation in matrix_cells(run, attack, defense, threat)
             )
             for defense in run.grid.defenses
         }
@@ -50,20 +73,77 @@ def arena_matrix(run, metric):
     }
 
 
-def _format_matrix(run, metric, title):
-    values = arena_matrix(run, metric)
+def _render_rows(run, values, fmt="{:.3f}"):
     rows = []
     for attack in run.grid.attacks:
         row = [attack]
         for defense in run.grid.defenses:
             value = values[attack][defense]
-            row.append("-" if np.isnan(value) else f"{value:.3f}")
+            row.append("-" if np.isnan(value) else fmt.format(value))
         rows.append(row)
-    return format_table(["Attack"] + list(run.grid.defenses), rows, title=title)
+    return rows
+
+
+def _format_matrix(run, metric, title, threat=None):
+    values = arena_matrix(run, metric, threat)
+    return format_table(
+        ["Attack"] + list(run.grid.defenses),
+        _render_rows(run, values),
+        title=title,
+    )
+
+
+def _format_delta(run, minuend, subtrahend, title):
+    """Matrix of ``evasion(minuend threat) − evasion(subtrahend threat)``."""
+    top = arena_matrix(run, "evasion_rate", minuend)
+    bottom = arena_matrix(run, "evasion_rate", subtrahend)
+    values = {
+        attack: {
+            defense: top[attack][defense] - bottom[attack][defense]
+            for defense in run.grid.defenses
+        }
+        for attack in run.grid.attacks
+    }
+    return format_table(
+        ["Attack"] + list(run.grid.defenses),
+        _render_rows(run, values, fmt="{:+.3f}"),
+        title=title,
+    )
+
+
+def _threat_trio(run, scope, threat=None, tag=""):
+    return [
+        _format_matrix(
+            run,
+            "evasion_rate",
+            "Evasion rate (victims still misclassified under defense) — "
+            f"{scope}{tag}",
+            threat,
+        ),
+        _format_matrix(
+            run,
+            "inspection_evasion_rate",
+            "Inspection evasion rate (attacked victims the defense fails "
+            f"to flag) — {scope}{tag}",
+            threat,
+        ),
+        _format_matrix(
+            run,
+            "detection_auc",
+            f"Detection AUC (defense flags, attacked vs clean) — {scope}{tag}",
+            threat,
+        ),
+    ]
 
 
 def render_arena_matrices(run):
-    """Both matrices as one deterministic text block."""
+    """Every matrix as one deterministic text block.
+
+    Single-threat grids (the historical shape) render exactly the
+    three-matrix block they always did; multi-threat grids render the trio
+    per threat model plus the transfer-gap / adaptive-delta matrices for
+    every threat whose twin is on the grid.
+    """
     grid = run.grid
     scope = (
         f"datasets={','.join(grid.datasets)} "
@@ -71,23 +151,35 @@ def render_arena_matrices(run):
         f"budgets={','.join(str(b) for b in grid.budget_caps)} "
         f"seeds={','.join(str(s) for s in grid.seeds)}"
     )
-    return "\n\n".join(
-        [
-            _format_matrix(
-                run,
-                "evasion_rate",
-                f"Evasion rate (victims still misclassified under defense) — {scope}",
-            ),
-            _format_matrix(
-                run,
-                "inspection_evasion_rate",
-                "Inspection evasion rate (attacked victims the defense fails "
-                f"to flag) — {scope}",
-            ),
-            _format_matrix(
-                run,
-                "detection_auc",
-                f"Detection AUC (defense flags, attacked vs clean) — {scope}",
-            ),
-        ]
-    )
+    threats = _grid_threats(grid)
+    if len(threats) == 1:
+        tag = "" if threats[0].is_default else f" threat={threats[0].label()}"
+        return "\n\n".join(_threat_trio(run, scope, tag=tag))
+
+    blocks = []
+    for threat in threats:
+        blocks.extend(
+            _threat_trio(run, scope, threat, tag=f" threat={threat.label()}")
+        )
+    for threat in threats:
+        if threat.is_surrogate and threat.white_box_twin() in threats:
+            blocks.append(
+                _format_delta(
+                    run,
+                    threat.white_box_twin(),
+                    threat,
+                    "Surrogate transfer gap (white-box evasion − surrogate "
+                    f"evasion) — {scope} threat={threat.label()}",
+                )
+            )
+        if threat.is_adaptive and threat.oblivious_twin() in threats:
+            blocks.append(
+                _format_delta(
+                    run,
+                    threat,
+                    threat.oblivious_twin(),
+                    "Adaptive evasion delta (preprocess-aware − oblivious) — "
+                    f"{scope} threat={threat.label()}",
+                )
+            )
+    return "\n\n".join(blocks)

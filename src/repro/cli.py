@@ -118,6 +118,18 @@ def build_parser():
         "--seeds", default="0", help="comma-separated seed axis"
     )
     arena.add_argument(
+        "--threat",
+        action="append",
+        dest="threats",
+        metavar="THREAT",
+        help="threat-model axis entry (repeatable; default: the historical "
+        "white_box+oblivious).  Grammar: 'white_box', 'oblivious', "
+        "'surrogate[:h<H>,s<S>]' (attacker only holds an independently "
+        "trained GCN), 'adaptive:<defense>' (attacker optimizes through "
+        "that defense's sanitization), joined with '+', e.g. "
+        "'surrogate:h8+adaptive:jaccard'",
+    )
+    arena.add_argument(
         "--store",
         default="arena-store",
         help="result-store directory (content-addressed per-victim records)",
@@ -270,6 +282,7 @@ def _arena(session, args):
         defenses=tuple(args.defenses.split(",")),
         budget_caps=tuple(int(b) for b in args.budgets.split(",")),
         seeds=tuple(int(s) for s in args.seeds.split(",")),
+        threats=tuple(args.threats or ("white_box+oblivious",)),
     )
     store = ResultStore(args.store)
     run = session.arena(grid, store, progress=print, fresh=args.fresh)

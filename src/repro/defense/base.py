@@ -71,6 +71,20 @@ class Defense:
         """Suspicion score in ``[0, 1]`` for ``node``'s neighborhood."""
         return 0.0
 
+    def attacker_view(self, graph, node=None):
+        """The graph a defense-aware (adaptive) attacker optimizes through.
+
+        The preprocess-aware threat model (:mod:`repro.threat`) runs each
+        attack's inner optimization on this view instead of the raw graph,
+        so the defense's sanitization becomes part of the attacked
+        objective.  The default is the graph-level :meth:`preprocess` pass
+        (memoized); per-node defenses override with the neighborhood the
+        defender will actually act on around ``node``.  Identity-
+        preprocessing defenses make adaptivity degenerate to oblivious —
+        honestly: there is nothing to optimize through.
+        """
+        return self.preprocessed(graph)
+
     # -- derived ------------------------------------------------------------
     def predict(self, graph, node=None):
         """Defended prediction: the model on the preprocessed graph.

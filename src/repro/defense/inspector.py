@@ -173,6 +173,26 @@ class ExplainerDefense(Defense):
         )
         return outcome
 
+    def attacker_view(self, graph, node=None):
+        """The victim's neighborhood as the defender will leave it.
+
+        A preprocess-aware attacker anticipates the inspect-and-prune
+        response: the defender will examine the explanation's top-``L``
+        window around ``node`` and prune up to ``prune_k`` untrusted
+        edges.  The view is therefore the *post-pruning* graph — exactly
+        what :meth:`inspect` computes (and the per-(graph, node) cache it
+        already shares with :meth:`predict`/:meth:`flag`).  Edges the
+        attacker commits on this view are chosen to flip the prediction
+        *after* the anticipated prune, so they survive the real defense
+        whenever the simulation matches the defender.
+        """
+        if node is None:
+            return graph
+        outcome = self._cached_inspect(graph, int(node))
+        if not outcome.pruned_edges:
+            return graph
+        return graph.with_edges_removed(outcome.pruned_edges)
+
     def recovery_rate(self, graph, attack_results, true_labels):
         """Fraction of attacked victims whose true label is restored.
 

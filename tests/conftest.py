@@ -2,17 +2,58 @@
 
 Heavy fixtures are session-scoped so the whole suite stays laptop-fast; all
 randomness flows through fixed seeds, never global state.
+
+Setting ``REPRO_TEST_SHUFFLE`` shuffles the collected test order (value =
+seed, or ``random`` for a fresh one; the seed is always printed so any
+failure reproduces exactly).  CI runs a shuffled job to flush inter-test
+state leaks that a fixed collection order would mask forever.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import sys
 
 import numpy as np
 import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+_SHUFFLE_ENV = "REPRO_TEST_SHUFFLE"
+
+
+def pytest_collection_modifyitems(config, items):
+    """Seeded shuffle of the collected order (opt-in via the env var).
+
+    Only items under this directory move — benchmark modules keep their
+    order — and the whole permutation is one ``random.Random(seed)``
+    draw, so re-running with the printed seed reproduces it exactly.
+    """
+    spec = os.environ.get(_SHUFFLE_ENV)
+    if not spec:
+        return
+    seed = (
+        random.SystemRandom().randrange(2**32)
+        if spec.lower() == "random"
+        else int(spec)
+    )
+    here = os.path.dirname(os.path.abspath(__file__))
+    ours = [
+        index
+        for index, item in enumerate(items)
+        if str(item.fspath).startswith(here)
+    ]
+    shuffled = ours[:]
+    random.Random(seed).shuffle(shuffled)
+    reordered = list(items)
+    for slot, source in zip(ours, shuffled):
+        reordered[slot] = items[source]
+    items[:] = reordered
+    print(
+        f"\n[{_SHUFFLE_ENV}] shuffled {len(ours)} tests with seed {seed} "
+        f"(reproduce: {_SHUFFLE_ENV}={seed})"
+    )
 
 from repro.datasets import CitationSpec, generate_citation_graph, random_split
 from repro.graph import normalize_adjacency

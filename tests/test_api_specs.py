@@ -1,6 +1,6 @@
 """Spec round-trips and store-key compatibility of the repro.api façade.
 
-Two contracts guard the refactor:
+Three contracts guard the refactor:
 
 1. **Round-trip exactness** — ``Spec.from_dict(spec.to_dict()) == spec``
    for every registered attack, defense and explainer (and the composite
@@ -9,8 +9,15 @@ Two contracts guard the refactor:
    byte-identical content keys as the pre-refactor hand-maintained
    implementation (frozen below), so arena stores written before the spec
    layer existed stay warm after it.
+3. **Threat-axis key compatibility** — a default (white-box oblivious)
+   threat model is invisible to the key: every default-threat cell hashes
+   to the exact SHA-256 recorded *before the threat axis existed*
+   (``tests/data/legacy_store_keys.json``, generated at the pre-threat
+   commit and frozen), while any non-default threat moves the key.
 """
 
+import json
+import os
 from dataclasses import replace
 
 import pytest
@@ -25,9 +32,16 @@ from repro.api.specs import (
     ExplainerSpec,
     ModelSpec,
     ScenarioSpec,
+    ThreatModel,
     VictimPolicy,
 )
-from repro.arena.grid import ScenarioCell, canonical_json, cell_config, victim_key
+from repro.arena.grid import (
+    ScenarioCell,
+    canonical_json,
+    cell_config,
+    content_key,
+    victim_key,
+)
 from repro.attacks import ATTACKS, EXTENSION_ATTACKS, AttackResult, VictimSpec
 from repro.datasets import load_dataset
 from repro.defense import DEFENSES
@@ -185,6 +199,144 @@ class TestStoreKeyCompatibility:
         assert canonical_json(cell_config(cell_ne, SMOKE)) == canonical_json(
             cell_config(cell_ne, bumped)
         )
+
+
+#: Cell-config and victim SHA-256 pairs recorded at the commit *before*
+#: the threat axis existed.  Default-threat cells must reproduce them
+#: byte-for-byte forever: every key move silently cold-starts every store
+#: a user has on disk.
+FROZEN_KEYS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "data", "legacy_store_keys.json"
+)
+
+
+class TestFrozenLegacyKeys:
+    """Pre-threat-axis stores must resume with zero re-executed attacks."""
+
+    @pytest.fixture(scope="class")
+    def frozen(self):
+        with open(FROZEN_KEYS_PATH) as handle:
+            return json.load(handle)
+
+    @pytest.mark.parametrize("name", EDGE_ATTACKS)
+    @pytest.mark.parametrize("label", ["smoke", "tweaked"])
+    def test_default_threat_cells_keep_frozen_keys(self, frozen, name, label):
+        config = SMOKE if label == "smoke" else TWEAKED
+        cell = ScenarioCell("cora", 16, name, 3, 0)
+        cfg = cell_config(cell, config)
+        entry = frozen[f"{name}/{label}"]
+        assert content_key(cfg) == entry["cell_sha"]
+        assert (
+            victim_key(cfg, VictimSpec(node=11, target_label=2, budget=3))
+            == entry["victim_sha"]
+        )
+
+    @pytest.mark.parametrize("name", ["GEAttack", "Nettack"])
+    def test_off_default_cells_keep_frozen_keys(self, frozen, name):
+        cell = ScenarioCell("citeseer", 24, name, 4, 7)
+        cfg = cell_config(cell, SMOKE)
+        entry = frozen[f"{name}/citeseer-h24-b4-s7"]
+        assert content_key(cfg) == entry["cell_sha"]
+        assert (
+            victim_key(cfg, VictimSpec(node=3, target_label=None, budget=2))
+            == entry["victim_sha"]
+        )
+
+    def test_explicit_default_threat_is_key_invisible(self, frozen):
+        explicit = ScenarioCell(
+            "cora", 16, "GEAttack", 3, 0, ThreatModel.parse("white_box+oblivious")
+        )
+        assert (
+            content_key(cell_config(explicit, SMOKE))
+            == frozen["GEAttack/smoke"]["cell_sha"]
+        )
+
+    @pytest.mark.parametrize(
+        "threat",
+        ["surrogate", "adaptive:jaccard", "surrogate:h8,s3+adaptive:svd"],
+    )
+    def test_non_default_threats_move_every_key(self, frozen, threat):
+        cell = ScenarioCell("cora", 16, "GEAttack", 3, 0, ThreatModel.parse(threat))
+        cfg = cell_config(cell, SMOKE)
+        assert content_key(cfg) != frozen["GEAttack/smoke"]["cell_sha"]
+        assert "threat" in cfg
+
+    def test_unresolved_and_resolved_surrogates_share_keys(self):
+        from repro.threat import resolve_threat
+
+        open_threat = ThreatModel.parse("surrogate")
+        pinned = resolve_threat(open_threat, SMOKE, 0)
+        assert pinned.surrogate_hidden is not None
+        assert pinned.surrogate_seed is not None
+        key = lambda threat: content_key(
+            cell_config(ScenarioCell("cora", 16, "FGA-T", 3, 0, threat), SMOKE)
+        )
+        assert key(open_threat) == key(pinned)
+
+
+class TestThreatModelSpec:
+    @pytest.mark.parametrize(
+        "threat",
+        [
+            ThreatModel(),
+            ThreatModel.parse("surrogate"),
+            ThreatModel.parse("surrogate:h8,s3"),
+            ThreatModel.parse("adaptive:jaccard"),
+            ThreatModel.parse("surrogate:h4+adaptive:explainer"),
+        ],
+        ids=lambda threat: threat.label(),
+    )
+    def test_round_trip_through_json(self, threat):
+        data = json.loads(json.dumps(threat.to_dict()))
+        assert ThreatModel.from_dict(data) == threat
+
+    def test_parse_defaults_and_aliases(self):
+        assert ThreatModel.parse("white_box+oblivious") == ThreatModel()
+        assert ThreatModel.parse("oblivious").is_default
+        assert ThreatModel.parse("preprocess_aware:svd") == ThreatModel.parse(
+            "adaptive:svd"
+        )
+        surrogate = ThreatModel.parse("surrogate:s5")
+        assert surrogate.surrogate_seed == 5
+        assert surrogate.surrogate_hidden is None
+
+    @pytest.mark.parametrize(
+        "text",
+        ["sideways", "adaptive", "surrogate:x9", "adaptive:", "surrogate:h-3"],
+    )
+    def test_parse_rejects_bad_grammar(self, text):
+        with pytest.raises(ValueError):
+            ThreatModel.parse(text)
+
+    def test_validation_rejects_inconsistent_fields(self):
+        with pytest.raises(ValueError, match="surrogate"):
+            ThreatModel(knowledge="white_box", surrogate_seed=3)
+        with pytest.raises(ValueError, match="defense"):
+            ThreatModel(adaptivity="preprocess_aware")
+        with pytest.raises(ValueError, match="adapted defense"):
+            ThreatModel(defense="jaccard")
+        with pytest.raises(ValueError, match="knowledge"):
+            ThreatModel(knowledge="psychic")
+
+    def test_twins(self):
+        threat = ThreatModel.parse("surrogate:h8+adaptive:jaccard")
+        assert threat.oblivious_twin() == ThreatModel.parse("surrogate:h8")
+        assert threat.white_box_twin() == ThreatModel.parse("adaptive:jaccard")
+        assert threat.oblivious_twin().white_box_twin().is_default
+
+    def test_scenario_spec_with_threat_round_trips(self):
+        spec = scenario_spec(
+            ScenarioCell(
+                "cora", 16, "Nettack", 3, 0, ThreatModel.parse("adaptive:explainer")
+            ),
+            SMOKE,
+        )
+        data = json.loads(canonical_json(spec.to_dict()))
+        assert ScenarioSpec.from_dict(data) == spec
+        # The resolved adapted-defense operating point is in the key.
+        assert data["threat"]["defense_params"] == [
+            ["inspection_window", SMOKE.explanation_size]
+        ]
 
 
 class TestFromDictGuard:

@@ -45,6 +45,30 @@ class TestParser:
         args = build_parser().parse_args([command])
         assert args.command == command
 
+    def test_arena_threat_axis_default_is_none(self):
+        args = build_parser().parse_args(["arena"])
+        assert args.threats is None  # resolved to white_box+oblivious later
+
+    def test_arena_threat_axis_is_repeatable(self):
+        from repro.api.specs import ThreatModel
+
+        args = build_parser().parse_args(
+            [
+                "arena",
+                "--threat",
+                "white_box+oblivious",
+                "--threat",
+                "surrogate:h8,s3",
+                "--threat",
+                "adaptive:jaccard",
+            ]
+        )
+        threats = tuple(ThreatModel.parse(t) for t in args.threats)
+        assert threats[0].is_default
+        assert threats[1].surrogate_hidden == 8
+        assert threats[1].surrogate_seed == 3
+        assert threats[2].defense == "jaccard"
+
 
 class TestExecution:
     def test_table3_runs(self, capsys):

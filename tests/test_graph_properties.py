@@ -1,0 +1,189 @@
+"""Seeded randomized property suite over :class:`repro.graph.Graph`.
+
+The whole attack engine leans on a handful of structural invariants —
+symmetry, binarity, zero diagonal, perturbation-by-copy, cache freshness —
+that unit tests only probe at hand-picked points.  This suite drives them
+with ~40 random graphs per seed (stdlib ``random`` only, so the generator
+adds no dependency and shrinks trivially: rerun with the printed seed).
+
+Invariants under test:
+
+* construction canonicalizes any edge soup (duplicates, both directions,
+  weights) into a symmetric, binary, self-loop-free adjacency;
+* ``with_edges_added`` → ``with_edges_removed`` round-trips to the
+  original edge set (and the reverse order too), with the *source object
+  bit-untouched* at every step — perturbation never mutates;
+* ``graph_cached`` entries are keyed by graph identity, so a perturbed
+  graph always gets a fresh entry and the original keeps its own.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph
+from repro.graph.utils import graph_cached
+
+SEEDS = (0, 7, 20260731)
+GRAPHS_PER_SEED = 40
+
+
+def random_graph(rng):
+    """A small random graph from an adversarial edge soup.
+
+    Edges arrive unsorted, duplicated, in both orientations and with
+    non-unit weights — everything construction promises to canonicalize.
+    """
+    n = rng.randint(4, 24)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = rng.sample(possible, min(len(possible), rng.randint(3, 3 * n)))
+    dense = np.zeros((n, n))
+    for u, v in edges:
+        weight = rng.choice([1.0, 2.0, 0.5])
+        if rng.random() < 0.5:
+            dense[u, v] = weight  # one orientation only: must symmetrize
+        else:
+            dense[u, v] = dense[v, u] = weight
+    for node in rng.sample(range(n), rng.randint(0, 2)):
+        dense[node, node] = 1.0  # self loops: must be stripped
+    features = np.array(
+        [[rng.random() for _ in range(5)] for _ in range(n)]
+    )
+    labels = np.array([rng.randint(0, 2) for _ in range(n)])
+    return Graph(dense, features, labels, name=f"random-{n}"), set(edges)
+
+
+def assert_canonical(graph):
+    """The structural invariants every Graph must hold."""
+    adjacency = graph.adjacency
+    assert (adjacency != adjacency.T).nnz == 0, "adjacency must be symmetric"
+    assert adjacency.diagonal().sum() == 0, "self-loops must be stripped"
+    if adjacency.nnz:
+        assert set(np.unique(adjacency.data)) == {1.0}, "data must be binary"
+    assert adjacency.dtype == np.float64
+
+
+def snapshot(graph):
+    """Bit-level fingerprint of a graph's mutable members."""
+    return (
+        graph.adjacency.toarray().tobytes(),
+        graph.features.tobytes(),
+        graph.labels.tobytes(),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestGraphInvariants:
+    def test_construction_canonicalizes(self, seed):
+        rng = random.Random(seed)
+        for _ in range(GRAPHS_PER_SEED):
+            graph, edges = random_graph(rng)
+            assert_canonical(graph)
+            assert graph.edge_set() == edges, f"seed={seed}"
+            assert graph.num_edges == len(edges)
+
+    def test_add_remove_round_trip(self, seed):
+        rng = random.Random(seed + 1)
+        for _ in range(GRAPHS_PER_SEED):
+            graph, edges = random_graph(rng)
+            n = graph.num_nodes
+            absent = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if (u, v) not in edges
+            ]
+            to_add = rng.sample(absent, min(len(absent), rng.randint(1, 4)))
+            if not to_add:
+                continue
+            before = snapshot(graph)
+            grown = graph.with_edges_added(to_add)
+            assert grown is not graph
+            assert_canonical(grown)
+            assert grown.edge_set() == edges | set(to_add)
+            assert snapshot(graph) == before, "source graph was mutated"
+            back = grown.with_edges_removed(to_add)
+            assert back.edge_set() == edges, "add→remove must round-trip"
+            assert_canonical(back)
+            assert grown.edge_set() == edges | set(to_add), (
+                "intermediate graph was mutated by the removal"
+            )
+
+    def test_remove_add_round_trip(self, seed):
+        rng = random.Random(seed + 2)
+        for _ in range(GRAPHS_PER_SEED):
+            graph, edges = random_graph(rng)
+            to_remove = rng.sample(
+                sorted(edges), min(len(edges), rng.randint(1, 3))
+            )
+            before = snapshot(graph)
+            shrunk = graph.with_edges_removed(to_remove)
+            assert shrunk.edge_set() == edges - set(to_remove)
+            assert_canonical(shrunk)
+            assert snapshot(graph) == before, "source graph was mutated"
+            back = shrunk.with_edges_added(to_remove)
+            assert back.edge_set() == edges, "remove→add must round-trip"
+
+    def test_features_and_labels_shared_not_copied_content(self, seed):
+        """Perturbation changes structure only: attributes carry over."""
+        rng = random.Random(seed + 3)
+        for _ in range(GRAPHS_PER_SEED // 4):
+            graph, edges = random_graph(rng)
+            if not edges:
+                continue
+            perturbed = graph.with_edges_removed([next(iter(edges))])
+            assert np.array_equal(perturbed.features, graph.features)
+            assert np.array_equal(perturbed.labels, graph.labels)
+            assert perturbed.name == graph.name
+
+    def test_graph_cached_is_fresh_per_perturbation(self, seed):
+        rng = random.Random(seed + 4)
+        for _ in range(GRAPHS_PER_SEED // 4):
+            graph, edges = random_graph(rng)
+            if not edges:
+                continue
+            calls = []
+
+            def builder(tag):
+                calls.append(tag)
+                return tag
+
+            key = ("prop-suite", seed)
+            first = graph_cached(graph, key, lambda: builder("original"))
+            again = graph_cached(graph, key, lambda: builder("original-again"))
+            assert first == again == "original", "same graph must hit"
+            perturbed = graph.with_edges_removed([next(iter(edges))])
+            fresh = graph_cached(perturbed, key, lambda: builder("perturbed"))
+            assert fresh == "perturbed", "perturbed graph must miss"
+            assert calls == ["original", "perturbed"]
+            # ... and the original's entry survived the perturbed insert.
+            assert graph_cached(graph, key, lambda: builder("boom")) == "original"
+
+
+class TestGraphErrors:
+    def test_self_loop_perturbation_rejected(self):
+        graph, _ = random_graph(random.Random(1))
+        with pytest.raises(ValueError, match="self-loop"):
+            graph.with_edges_added([(2, 2)])
+
+    def test_mismatched_features_rejected(self):
+        with pytest.raises(ValueError, match="nodes"):
+            Graph(np.eye(3) * 0, np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            Graph(np.zeros((3, 3)), np.zeros((3, 2)), np.zeros(5, dtype=int))
+
+    def test_sparse_input_round_trips(self):
+        rng = random.Random(2)
+        graph, edges = random_graph(rng)
+        rebuilt = Graph(
+            sp.csr_matrix(graph.adjacency),
+            graph.features,
+            graph.labels,
+        )
+        assert rebuilt.edge_set() == edges
