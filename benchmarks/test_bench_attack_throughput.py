@@ -24,8 +24,11 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.attacks import FGATExplainerEvasion, GEAttack, GEAttackPG, IGAttack
+from repro.attacks import ATTACKS
+from repro.autodiff.backend import get_backend
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.datasets import load_dataset, random_split
 from repro.explain import PGExplainer
@@ -35,6 +38,9 @@ from repro.nn import GCN, train_node_classifier
 BENCH_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_attack_throughput.json",
+)
+FULL_SCALE_PATH = os.path.join(
+    os.path.dirname(BENCH_PATH), "BENCH_full_scale.json"
 )
 
 NUM_VICTIMS = 20
@@ -135,6 +141,11 @@ def test_bench_attack_throughput():
         ("GEAttack-PG", GEAttackPG(model, pg, seed=21), heavy_victims, False),
     ]
     for name, attack, victim_set, thresholded in cases:
+        # This benchmark measures the *locality engine* (serial full-graph
+        # vs batched subgraph), so pin the dense backend: under
+        # REPRO_BACKEND=sparse the serial path gets so fast that the
+        # locality speedup threshold no longer means anything.
+        attack.backend = get_backend("dense")
         row = _bench_one(attack, graph, victim_set)
         row["min_speedup"] = MIN_SPEEDUP if thresholded else None
         rows[name] = row
@@ -175,3 +186,119 @@ def test_bench_attack_throughput():
                 f"faster (serial {rows[name]['serial_seconds']:.2f}s, "
                 f"batched {rows[name]['batched_seconds']:.2f}s)"
             )
+
+
+# ---------------------------------------------------------------------------
+# Full-scale dense vs sparse backend (REPRO_SCALE=full only)
+# ---------------------------------------------------------------------------
+
+#: Workloads for the full-scale backend comparison.  Full-graph execution
+#: (no locality) so the backend carries the whole n × n vs O(nnz) delta.
+FULL_SCALE_WORKLOADS = (
+    ("FGA-T", {}),
+    ("IG-Attack", {"steps": 5}),
+    ("GEAttack", {"inner_steps": 2}),
+)
+FULL_SCALE_VICTIMS = 3
+FULL_SCALE_MIN_SPEEDUP = 2.0
+
+
+def _prepare_full_scale():
+    """Full-size cora-like case (Table 3 scale: n ≈ 2.5k)."""
+    graph = load_dataset("cora", scale=1.0, seed=7)
+    split = random_split(graph.num_nodes, seed=8)
+    model = GCN(graph.num_features, 16, graph.num_classes, np.random.default_rng(9))
+    train_node_classifier(
+        model,
+        normalize_adjacency(graph.adjacency),
+        graph.features,
+        graph.labels,
+        split.train,
+        split.val,
+        split.test,
+        epochs=120,
+        patience=30,
+    )
+    with no_grad():
+        logits = model(
+            normalize_adjacency(graph.adjacency), Tensor(graph.features)
+        ).data
+    predictions = logits.argmax(axis=1)
+    degrees = graph.degrees()
+    eligible = np.flatnonzero(
+        (predictions == graph.labels) & (degrees >= 2) & (degrees <= 5)
+    )
+    chosen = np.random.default_rng(10).choice(
+        eligible, size=min(FULL_SCALE_VICTIMS, eligible.size), replace=False
+    )
+    victims = []
+    for node in sorted(int(v) for v in chosen):
+        row = logits[node].copy()
+        row[graph.labels[node]] = -np.inf
+        victims.append((node, int(np.argmax(row)), 1))
+    return graph, model, victims
+
+
+def _bench_backends(name, kwargs, graph, model, victims):
+    """Dense vs sparse wall-clock of one attack over the victim set."""
+    timings = {}
+    results = {}
+    for backend in ("dense", "sparse"):
+        attack = ATTACKS[name](model, seed=21, **kwargs)
+        attack.backend = get_backend(backend)
+        reset_graph_cache()
+        start = time.perf_counter()
+        results[backend] = [
+            attack.attack(graph, node, label, budget)
+            for node, label, budget in victims
+        ]
+        timings[backend] = time.perf_counter() - start
+    return {
+        "num_victims": len(victims),
+        "budget_per_victim": 1,
+        "dense_seconds": round(timings["dense"], 3),
+        "sparse_seconds": round(timings["sparse"], 3),
+        "speedup": round(timings["dense"] / timings["sparse"], 2),
+        "asr_dense": _attack_success(results["dense"]),
+        "asr_sparse": _attack_success(results["sparse"]),
+        "edges_identical": all(
+            one.added_edges == two.added_edges
+            for one, two in zip(results["dense"], results["sparse"])
+        ),
+    }
+
+
+def test_bench_full_scale():
+    """Dense vs sparse backend at REPRO_SCALE=full, recorded + thresholded."""
+    if os.environ.get("REPRO_SCALE") != "full":
+        pytest.skip("full-scale backend benchmark runs only at REPRO_SCALE=full")
+    graph, model, victims = _prepare_full_scale()
+    assert len(victims) >= 1, "full-scale benchmark found no victims"
+
+    rows = {}
+    for name, kwargs in FULL_SCALE_WORKLOADS:
+        rows[name] = _bench_backends(name, kwargs, graph, model, victims)
+
+    record = {
+        "dataset": "cora-like (scale=1.0, seed=7)",
+        "graph_nodes": int(graph.num_nodes),
+        "graph_edges": int(graph.num_edges),
+        "min_speedup": FULL_SCALE_MIN_SPEEDUP,
+        "attacks": rows,
+    }
+    with open(FULL_SCALE_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, row in rows.items():
+        assert row["edges_identical"], (
+            f"{name}: sparse backend must reproduce the dense edge sets"
+        )
+        assert row["asr_sparse"] == row["asr_dense"], (
+            f"{name}: sparse ASR must match dense"
+        )
+    best = max(row["speedup"] for row in rows.values())
+    assert best >= FULL_SCALE_MIN_SPEEDUP, (
+        f"sparse backend best speedup only {best:.2f}x "
+        f"(need ≥ {FULL_SCALE_MIN_SPEEDUP}x on at least one workload)"
+    )

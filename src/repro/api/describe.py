@@ -75,4 +75,28 @@ def describe_registries(config=None, as_json=False):
         schema["explainers"],
         flags=[("fitted", "fitted per case")],
     )
+    lines.append("")
+    lines += _backend_lines()
     return "\n".join(lines)
+
+
+def _backend_lines():
+    """The active compute backend, text listing only.
+
+    Deliberately kept out of the ``--json`` schema: the backend is an
+    execution detail (never part of results or store keys), and the JSON
+    top-level shape is a compatibility contract.
+    """
+    from repro.autodiff.backend import get_backend
+
+    backend = get_backend()
+    title = "Compute backend"
+    return [
+        title,
+        "=" * len(title),
+        f"active: {backend.name}"
+        "  (select with REPRO_BACKEND=dense|sparse or Session(backend=...))",
+        "dense: dense adjacency tensors (default; the historical path)",
+        "sparse: CSR adjacency with fused scatter kernels"
+        " (FGA, FGA-T, Nettack, IG-Attack, GEAttack)",
+    ]

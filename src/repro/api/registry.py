@@ -95,7 +95,9 @@ def attack_params(name, config):
     return attack_class(name).spec_params(config)
 
 
-def build_attack(spec, case, config=None, context=None, seed=None, threat=None):
+def build_attack(
+    spec, case, config=None, context=None, seed=None, threat=None, backend=None
+):
     """Instantiate an attack from a spec (or name) for a prepared case.
 
     ``context`` is any object with the :class:`repro.api.Session` cache
@@ -109,10 +111,19 @@ def build_attack(spec, case, config=None, context=None, seed=None, threat=None):
     attack — and every dependency it fits, e.g. GEAttack-PG's simulated
     PGExplainer — is built against an independently trained surrogate of
     ``case`` instead of the victim model itself.
+
+    ``backend`` selects the compute backend (dense / sparse CSR); it
+    defaults to the case's threaded backend, then ``REPRO_BACKEND``.  The
+    backend is an execution detail — results are identical by the
+    differential contract — so it never enters specs or store keys.
     """
+    from repro.autodiff.backend import get_backend
+
     config = case.config if config is None else config
     if isinstance(spec, str):
         spec = attack_spec(spec, config)
+    if backend is None:
+        backend = getattr(case, "backend", None)
     if threat is not None:
         case = attacker_case(case, threat, context=context)
     cls = attack_class(spec.name)
@@ -123,7 +134,9 @@ def build_attack(spec, case, config=None, context=None, seed=None, threat=None):
             if context is not None
             else fit_pg_explainer(case, config)
         )
-    return cls.from_spec(case, spec, dependencies=dependencies, seed=seed)
+    attack = cls.from_spec(case, spec, dependencies=dependencies, seed=seed)
+    attack.backend = get_backend(backend)
+    return attack
 
 
 def attacker_case(case, threat, context=None):

@@ -363,12 +363,22 @@ class Session:
         Optional mutable dict to share prepared cases (trained models,
         derived victims, fitted PGExplainers) across sessions in one
         process — the resume tests and benchmarks reuse models this way.
+    backend:
+        Compute backend for attack execution (``"dense"``/``"sparse"`` or
+        a :class:`repro.autodiff.Backend`); ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then dense.  Purely an
+        execution detail: results, store keys and golden bytes are
+        backend-independent (the differential harness enforces this), so
+        the backend is *not* part of the prepared-case memo key — a
+        ``cases`` dict may be shared across sessions with different
+        backends.
     """
 
-    def __init__(self, config=None, jobs=1, cases=None):
+    def __init__(self, config=None, jobs=1, cases=None, backend=None):
         self.config = SCALE_PRESETS["smoke"] if config is None else config
         self.jobs = max(1, int(jobs))
         self._memo = {} if cases is None else cases
+        self.backend = backend
 
     # -- caches --------------------------------------------------------------
     def prepared(self, dataset, seed=None, hidden=None):
@@ -387,7 +397,7 @@ class Session:
         config = replace(self.config, hidden=hidden)
         key = (dataset, hidden, seed, config)
         if key not in self._memo:
-            case = prepare_case(dataset, config, seed=seed)
+            case = prepare_case(dataset, config, seed=seed, backend=self.backend)
             victims = derive_target_labels(case, select_victims(case))
             self._memo[key] = (case, victims)
         return self._memo[key]
@@ -506,10 +516,15 @@ class Session:
         is the PG variant — renamed to keep the paper's column header.
         """
         if name == "GEAttack" and pg_explainer is not None:
-            attack = build_attack("GEAttack-PG", case, self.config, context=self)
+            attack = build_attack(
+                "GEAttack-PG", case, self.config, context=self,
+                backend=self.backend,
+            )
             attack.name = "GEAttack"
             return attack
-        return build_attack(name, case, self.config, context=self)
+        return build_attack(
+            name, case, self.config, context=self, backend=self.backend
+        )
 
     def _iter_table(self, experiment):
         config = self.config
@@ -621,7 +636,8 @@ class Session:
 
                 threat = resolve_threat(cell.threat, config, cell.seed)
                 attack = build_attack(
-                    cell.attack, case, config, context=self, threat=threat
+                    cell.attack, case, config, context=self, threat=threat,
+                    backend=self.backend,
                 )
                 results = execute_with_threat(
                     attack,

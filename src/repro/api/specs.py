@@ -352,16 +352,37 @@ class ThreatModel(_FieldSpec):
 
         Examples: ``surrogate``, ``adaptive:jaccard``,
         ``surrogate:h8,s3+adaptive:svd``.
+
+        Each axis may be set at most once: ``surrogate+surrogate:h8`` (or
+        ``white_box+surrogate``, ``oblivious+adaptive:jaccard``) is
+        rejected rather than silently letting the later part win.
         """
         if isinstance(text, cls):
             return text
         fields = {}
+        claimed = set()
+
+        def claim(axis, part):
+            if axis in claimed:
+                raise ValueError(
+                    f"duplicate {axis} axis in threat {text!r}: "
+                    f"part {part!r} conflicts with an earlier part"
+                )
+            claimed.add(axis)
+
         for part in str(text).split("+"):
             part = part.strip()
-            if part in ("", "white_box", "oblivious"):
+            if part == "":
+                continue
+            if part == "white_box":
+                claim("knowledge", part)
+                continue
+            if part == "oblivious":
+                claim("adaptivity", part)
                 continue
             head, _, arg = part.partition(":")
             if head == "surrogate":
+                claim("knowledge", part)
                 fields["knowledge"] = "surrogate"
                 for token in filter(None, (t.strip() for t in arg.split(","))):
                     if token[0] == "h" and token[1:].isdigit():
@@ -374,6 +395,7 @@ class ThreatModel(_FieldSpec):
                             " (expected h<int> or s<int>)"
                         )
             elif head in ("adaptive", "preprocess_aware") and arg:
+                claim("adaptivity", part)
                 fields["adaptivity"] = "preprocess_aware"
                 fields["defense"] = arg
             else:

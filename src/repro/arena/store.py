@@ -54,8 +54,38 @@ class ResultStore:
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        temp.write_text(canonical_json(payload), encoding="utf-8")
-        os.replace(temp, path)
+        try:
+            temp.write_text(canonical_json(payload), encoding="utf-8")
+            # Flush the temp file to disk before the rename becomes visible:
+            # os.replace is only atomic with respect to the *name*, not the
+            # data, so without the fsync a crash could publish an empty file.
+            descriptor = os.open(temp, os.O_RDONLY)
+            try:
+                os.fsync(descriptor)
+            finally:
+                os.close(descriptor)
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+            raise
+        self._sync_directory(path.parent)
+
+    @staticmethod
+    def _sync_directory(directory):
+        """Best-effort fsync of a directory entry (no-op where unsupported)."""
+        try:
+            descriptor = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(descriptor)
+        except OSError:
+            pass
+        finally:
+            os.close(descriptor)
 
     def keys(self):
         """All stored content keys (unordered)."""
@@ -79,3 +109,11 @@ class ResultStore:
             # Temp files survive only when a writer was killed mid-put.
             for orphan in self.root.glob("*/.*.tmp"):
                 orphan.unlink()
+            # Drop the now-empty two-level shard directories too, so a
+            # cleared store is indistinguishable from a fresh one.
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass

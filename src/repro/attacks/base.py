@@ -13,8 +13,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.autodiff import ops
+from repro.autodiff.backend import get_backend
+from repro.autodiff.sparse_ops import SparseAttackAdjacency
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.attacks.locality import build_locality_scene
+from repro.nn.layers import adjacency_matmul
 from repro.graph.utils import (
     cached_normalized_adjacency,
     edge_tuple,
@@ -305,22 +308,35 @@ class DenseGCNForward:
         self.degree_offset = degree_offset
 
     def __call__(self, normalized_adjacency, features=None):
-        """Logits under an already *normalized* adjacency tensor."""
-        hidden = ops.matmul(normalized_adjacency, self.first_support)
+        """Logits under an already *normalized* adjacency operator.
+
+        Accepts a dense tensor or a sparse-backend
+        :class:`~repro.autodiff.SparseNormalized` — both route through
+        :func:`repro.nn.layers.adjacency_matmul` (a no-op change for the
+        dense path, which still hits ``ops.matmul``).
+        """
+        hidden = adjacency_matmul(normalized_adjacency, self.first_support)
         if self.first_bias is not None:
             hidden = hidden + self.first_bias
         hidden = ops.relu(hidden)
-        out = ops.matmul(normalized_adjacency, ops.matmul(hidden, self.second_weight))
+        out = adjacency_matmul(
+            normalized_adjacency, ops.matmul(hidden, self.second_weight)
+        )
         if self.second_bias is not None:
             out = out + self.second_bias
         return out
 
-    def logits_from_raw(self, adjacency_tensor):
-        """Logits from a raw (unnormalized) dense adjacency tensor."""
+    def logits_from_raw(self, adjacency):
+        """Logits from a raw (unnormalized) adjacency leaf.
+
+        ``adjacency`` is either a dense tensor or a
+        :class:`~repro.autodiff.SparseAttackAdjacency`; both are
+        normalized under this forward's ``degree_offset`` convention.
+        """
+        if isinstance(adjacency, SparseAttackAdjacency):
+            return self(adjacency.normalized(degree_offset=self.degree_offset))
         return self(
-            normalize_adjacency_tensor(
-                adjacency_tensor, degree_offset=self.degree_offset
-            )
+            normalize_adjacency_tensor(adjacency, degree_offset=self.degree_offset)
         )
 
 
@@ -352,10 +368,16 @@ class Attack:
     #: ``"pg_explainer"``); supplied by the session/registry builder.
     requires = ()
 
-    def __init__(self, model, seed=0, candidate_policy=None):
+    def __init__(self, model, seed=0, candidate_policy=None, backend=None):
         self.model = model
         self.seed = int(seed)
         self.candidate_policy = candidate_policy
+        #: Compute backend (``repro.autodiff.get_backend``): dense by
+        #: default, sparse CSR when selected via ``REPRO_BACKEND`` or the
+        #: ``backend=`` parameter threaded through ``Session``/
+        #: ``build_attack``.  Attacks without a sparse kernel simply
+        #: ignore it and run the dense path.
+        self.backend = get_backend(backend)
 
     # -- spec protocol -------------------------------------------------------
     @classmethod

@@ -56,14 +56,25 @@ class FGA(Attack):
             if candidates.size == 0:
                 break
             forward = self._scene_forward(scene, view)
-            adjacency = Tensor(view.graph.dense_adjacency(), requires_grad=True)
-            loss = targeted_loss(forward, adjacency, view.node, label)
-            gradient = grad(loss, adjacency).data
-            # Undirected edge: entry (i, j) and (j, i) both change.
-            scores = sign * (gradient + gradient.T)
-            best_local, _ = select_best_candidate(scores, view.node, candidates)
+            if self.backend.is_sparse:
+                # One value per unordered pair: the gradient at a candidate
+                # pair *is* the symmetrized (i, j) + (j, i) score.
+                handle = self.backend.attack_adjacency(
+                    view.graph, view.node, candidates
+                )
+                loss = targeted_loss(forward, handle, view.node, label)
+                row = sign * handle.candidate_gradients(grad(loss, handle.values))
+                best_local = int(candidates[int(np.argmax(row))])
+            else:
+                adjacency = Tensor(view.graph.dense_adjacency(), requires_grad=True)
+                loss = targeted_loss(forward, adjacency, view.node, label)
+                gradient = grad(loss, adjacency).data
+                # Undirected edge: entry (i, j) and (j, i) both change.
+                scores = sign * (gradient + gradient.T)
+                best_local, _ = select_best_candidate(scores, view.node, candidates)
+                row = scores[view.node, candidates]
             best = view.to_global(best_local)
-            record_trace(trace, view, candidates, scores[view.node, candidates], best)
+            record_trace(trace, view, candidates, row, best)
             edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])

@@ -220,8 +220,19 @@ class GEAttack(Attack):
         separately and the penalty gradient is rescaled to the attack
         gradient's mean magnitude over the candidate entries, making λ
         dimensionless (see the class docstring).
+
+        On the sparse backend the same quantities are computed over a
+        CSR pair parameterization (``O(nnz)`` instead of ``O(n²)``);
+        the entropy regularizer is a mean over all ``n²`` mask entries,
+        so a nonzero ``entropy_coefficient`` falls back to the dense
+        path (it is 0 at the paper's operating point).
         """
         target_node = int(target_node)
+        if self.backend.is_sparse and not self.entropy_coefficient:
+            return self._sparse_candidate_scores(
+                forward, graph, target_node, target_label, evasion, mask_init,
+                candidates, degree_offset,
+            )
         adjacency = Tensor(graph.dense_adjacency(), requires_grad=True)
         attack_term = targeted_loss(forward, adjacency, target_node, target_label)
         if not self.lam:
@@ -296,6 +307,101 @@ class GEAttack(Attack):
         symmetric = (mask + ops.transpose(mask)) * 0.5
         row = symmetric[int(target_node)]
         return ops.tensor_sum(row * Tensor(evasion[int(target_node)]))
+
+    # -- sparse backend ------------------------------------------------------
+    def _sparse_candidate_scores(
+        self, forward, graph, target_node, target_label, evasion, mask_init,
+        candidates, degree_offset,
+    ):
+        """Candidate scores on the CSR pair parameterization.
+
+        Identical math to the dense path: one value serves both ordered
+        directions of a pair, so ``grad(loss, values)`` at a candidate
+        pair *is* the symmetrized entry ``(g + g.T)[victim, candidate]``.
+        """
+        handle = self.backend.attack_adjacency(graph, target_node, candidates)
+        attack_term = targeted_loss(forward, handle, target_node, target_label)
+        if not self.lam:
+            return -handle.candidate_gradients(grad(attack_term, handle.values))
+        if not self.normalize_penalty:
+            joint = attack_term + self.lam * self._sparse_explainer_penalty(
+                forward, handle, target_node, target_label, evasion, mask_init,
+                degree_offset,
+            )
+            return -handle.candidate_gradients(grad(joint, handle.values))
+
+        penalty_handle = self.backend.attack_adjacency(
+            graph, target_node, candidates
+        )
+        penalty = self._sparse_explainer_penalty(
+            forward, penalty_handle, target_node, target_label, evasion,
+            mask_init, degree_offset,
+        )
+        attack_scores = handle.candidate_gradients(
+            grad(attack_term, handle.values)
+        )
+        penalty_scores = penalty_handle.candidate_gradients(
+            grad(penalty, penalty_handle.values)
+        )
+        scale = np.abs(attack_scores).mean() / (
+            np.abs(penalty_scores).mean() + 1e-12
+        )
+        return -(attack_scores + self.lam * scale * penalty_scores)
+
+    def _sparse_explainer_penalty(
+        self, forward, handle, target_node, target_label, evasion, mask_init,
+        degree_offset,
+    ):
+        """The explainer unroll over *unordered symmetric* mask values.
+
+        The dense inner loop only ever reads the mask through
+        ``σ((M + Mᵀ)/2)``, so reparameterizing by the symmetric pair
+        values ``u = sym(M)`` on the adjacency support is exact — with
+        one correction: a dense step moves ``sym(M)`` by
+        ``−η · ½(∂f/∂s_ij + ∂f/∂s_ji)`` while ``grad(f, u)`` already
+        *is* the full symmetrized derivative, hence the ``½ η`` step
+        size below.  Mask entries off the adjacency support receive an
+        exactly-zero gradient (they are gated by a zero ``Â`` value), so
+        they stay at M⁰ through the unroll and contribute a constant.
+        """
+        sym0 = 0.5 * (mask_init + mask_init.T)
+        u = Tensor(
+            sym0[handle.pair_rows, handle.pair_cols].copy(), requires_grad=True
+        )
+        half_lr = 0.5 * self.inner_lr
+        for _ in range(self.inner_steps):
+            inner = self._sparse_explainer_loss(
+                forward, handle, u, target_node, target_label, degree_offset
+            )
+            step_gradient = grad(inner, u, create_graph=True)
+            u = u - half_lr * step_gradient
+        in_support = ops.tensor_sum(u[handle.candidate_slice])
+        # Off-support victim-row pairs: frozen at M⁰, a true constant in
+        # both value and gradient (kept so the penalty *value* matches
+        # the dense path, not just its gradient).
+        victim_gate = evasion[int(target_node)]
+        off_support = float(sym0[int(target_node)] @ victim_gate) - float(
+            sym0[int(target_node), handle.candidates].sum()
+        )
+        return in_support + off_support
+
+    def _sparse_explainer_loss(
+        self, forward, handle, u, target_node, target_label, degree_offset
+    ):
+        """GNNExplainer's objective on the CSR support (Eq. 3 + size term)."""
+        probability = ops.sigmoid(u)
+        masked_values = handle.ordered_values() * probability[handle.expand_index]
+        normalized = handle.assemble_normalized(
+            masked_values, degree_offset=degree_offset
+        )
+        logits = forward(normalized)
+        loss = F.cross_entropy(
+            ops.reshape(logits[int(target_node)], (1, logits.shape[1])),
+            np.array([int(target_label)]),
+        )
+        if self.size_coefficient:
+            loss = loss + self.size_coefficient * ops.tensor_sum(masked_values)
+        return loss
 
 
 class GEAttackPG(Attack):

@@ -54,12 +54,21 @@ class IGAttack(Attack):
             if candidates.size == 0:
                 break
             forward = self._scene_forward(scene, view)
-            scores = self._integrated_gradients(
-                forward, view.graph, view.node, target_label, candidates
-            )
-            best_local, _ = select_best_candidate(scores, view.node, candidates)
+            if self.backend.is_sparse:
+                row = self._sparse_integrated_gradients(
+                    forward, view.graph, view.node, target_label, candidates
+                )
+                best_local = int(candidates[int(np.argmax(row))])
+            else:
+                scores = self._integrated_gradients(
+                    forward, view.graph, view.node, target_label, candidates
+                )
+                best_local, _ = select_best_candidate(
+                    scores, view.node, candidates
+                )
+                row = scores[view.node, candidates]
             best = view.to_global(best_local)
-            record_trace(trace, view, candidates, scores[view.node, candidates], best)
+            record_trace(trace, view, candidates, row, best)
             edge = (target_node, best)
             added.append(edge)
             perturbed = perturbed.with_edges_added([edge])
@@ -85,3 +94,21 @@ class IGAttack(Attack):
         # Most negative path-gradient = flip that most reduces the targeted
         # loss; negate so callers pick the argmax.
         return -(average + average.T)
+
+    def _sparse_integrated_gradients(
+        self, forward, graph, target_node, target_label, candidates
+    ):
+        """The same path integral over the CSR pair parameterization.
+
+        The interpolation point lives in the candidate *pair values*
+        (both ordered directions move together, exactly like the dense
+        ``direction`` matrix), and the pair gradient is already the
+        symmetrized score, so the per-candidate row falls out directly.
+        """
+        handle = self.backend.attack_adjacency(graph, target_node, candidates)
+        total = np.zeros(int(candidates.size))
+        for step in range(1, self.steps + 1):
+            handle.values.data[handle.candidate_slice] = step / self.steps
+            loss = targeted_loss(forward, handle, target_node, target_label)
+            total += handle.candidate_gradients(grad(loss, handle.values))
+        return -(total / self.steps)

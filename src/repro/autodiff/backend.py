@@ -1,0 +1,88 @@
+"""Pluggable compute backends: dense (default) and sparse CSR.
+
+Selection is *explicit* — nothing sniffs graph sizes.  The resolution
+order is: an explicit ``backend=`` argument (threaded through
+:class:`repro.api.Session`, :func:`repro.experiments.prepare_case` and
+:func:`repro.api.build_attack`), then the ``REPRO_BACKEND`` environment
+variable, then ``"dense"``.  The dense backend runs the existing code
+byte-for-byte; the sparse backend swaps the attacks' adjacency leaves for
+:class:`repro.autodiff.SparseAttackAdjacency` and routes aggregation
+through the fused CSR kernels in :mod:`repro.autodiff.sparse_ops`.
+
+Backends are stateless singletons, so identity comparison and pickling
+(fork-based parallel attack execution) are both safe.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.autodiff.tensor import Tensor
+
+__all__ = ["Backend", "DenseBackend", "SparseBackend", "get_backend"]
+
+_ENV_VAR = "REPRO_BACKEND"
+
+
+class Backend:
+    """Protocol for compute backends.
+
+    A backend names itself, says whether it is sparse, and builds the
+    adjacency leaf an attack differentiates through.  New kernels hang
+    off the leaf object a backend returns (see
+    :class:`repro.autodiff.SparseAttackAdjacency` and ROADMAP's
+    "Compute backends" section for the registration recipe).
+    """
+
+    name = "abstract"
+    is_sparse = False
+
+    def attack_adjacency(self, graph, victim, candidates):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class DenseBackend(Backend):
+    """The existing dense-numpy path, byte-for-byte."""
+
+    name = "dense"
+    is_sparse = False
+
+    def attack_adjacency(self, graph, victim, candidates):
+        """Dense ``n × n`` adjacency leaf (victim/candidates unused)."""
+        return Tensor(graph.dense_adjacency(), requires_grad=True)
+
+
+class SparseBackend(Backend):
+    """CSR storage + fused scatter/gather kernels for the hot paths."""
+
+    name = "sparse"
+    is_sparse = True
+
+    def attack_adjacency(self, graph, victim, candidates):
+        from repro.autodiff.sparse_ops import SparseAttackAdjacency
+
+        return SparseAttackAdjacency(graph, victim, candidates)
+
+
+_BACKENDS = {"dense": DenseBackend(), "sparse": SparseBackend()}
+
+
+def get_backend(name=None):
+    """Resolve a backend by name, env var, or passthrough.
+
+    ``None`` consults ``REPRO_BACKEND`` at *call* time (so tests can
+    monkeypatch the environment) and falls back to dense.  An existing
+    :class:`Backend` instance passes through unchanged.
+    """
+    if isinstance(name, Backend):
+        return name
+    if name is None:
+        name = os.environ.get(_ENV_VAR) or "dense"
+    key = str(name).strip().lower()
+    if key not in _BACKENDS:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ValueError(f"unknown compute backend {name!r} (expected one of: {known})")
+    return _BACKENDS[key]

@@ -1,0 +1,274 @@
+"""Differentiable CSR kernels for the sparse compute backend.
+
+The dense attack path materializes ``n × n`` adjacency leaves and pays
+``O(n²)`` per primitive.  The kernels here keep the adjacency in CSR form
+with a *constant* sparsity pattern and a differentiable values vector, so
+every hot-path operation — normalization, aggregation, masked explainer
+unrolls — costs ``O(nnz)`` instead:
+
+* :func:`csr_matmat` — ``CSR(values) @ dense`` with VJPs for *both*
+  operands, themselves built from differentiable ops so ``create_graph``
+  (GEAttack's bilevel unroll) works to any order;
+* :func:`masked_inverse_sqrt` — ``d^{-1/2}`` with the same
+  ``non-finite → 0`` guard as :func:`repro.graph.normalize_adjacency`,
+  so a zero degree can never leak ``inf``/``nan`` into scores;
+* :class:`SparseAttackAdjacency` — the sparse analogue of the dense
+  adjacency leaf used by the attacks.  It parameterizes the symmetric
+  adjacency by one value per *unordered* pair (existing edges plus the
+  victim-candidate pairs under consideration), so the gradient at a
+  candidate pair is exactly the symmetrized score the dense code reads
+  as ``(g + g.T)[victim, candidate]``.
+
+Everything structural (index arrays, CSR layout, permutations) is plain
+constant numpy computed once per object; only values flow through the
+autodiff graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, astensor, make_node
+
+__all__ = [
+    "CSRStructure",
+    "csr_matmat",
+    "masked_inverse_sqrt",
+    "SparseNormalized",
+    "SparseAttackAdjacency",
+]
+
+
+class CSRStructure:
+    """Constant CSR sparsity pattern shared by many values vectors.
+
+    Holds ``indptr``/``indices`` plus the expanded per-entry row index and
+    a lazily-built transpose (structure + permutation mapping this
+    layout's entries into the transposed layout) needed by the
+    :func:`csr_matmat` dense-side VJP.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "rows", "_transpose")
+
+    def __init__(self, shape, indptr, indices):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        self._transpose = None
+
+    @property
+    def nnz(self):
+        return int(self.indices.size)
+
+    def transposed(self):
+        """``(structure, perm)`` such that ``values[perm]`` lays out A.T."""
+        if self._transpose is None:
+            marker = sp.csr_matrix(
+                (
+                    np.arange(1, self.nnz + 1, dtype=np.float64),
+                    self.indices.copy(),
+                    self.indptr.copy(),
+                ),
+                shape=self.shape,
+            ).T.tocsr()
+            structure = CSRStructure(
+                (self.shape[1], self.shape[0]), marker.indptr, marker.indices
+            )
+            self._transpose = (structure, marker.data.astype(np.int64) - 1)
+        return self._transpose
+
+
+def csr_matmat(structure, values, dense):
+    """Differentiable ``CSR(structure, values) @ dense``.
+
+    The pattern is constant; ``values`` (``nnz``-vector) and ``dense``
+    (``(n, h)`` tensor) are both differentiable.  With
+    ``out[i] = Σ_k values[k] · dense[indices[k]]`` over row ``i``'s
+    entries, the VJPs are
+
+    * values: ``⟨g[row_k], dense[col_k]⟩`` per entry — one fused gather
+      + reduce pass, and
+    * dense: ``CSR(structureᵀ, values[perm]) @ g`` — again a
+      :func:`csr_matmat`, hence differentiable to any order.
+    """
+    values = astensor(values)
+    dense = astensor(dense)
+    matrix = sp.csr_matrix(
+        (values.data, structure.indices, structure.indptr), shape=structure.shape
+    )
+    rows, cols = structure.rows, structure.indices
+
+    def vjp_values(g):
+        return ops.tensor_sum(
+            ops.getitem(g, rows) * ops.getitem(dense, cols), axis=1
+        )
+
+    def vjp_dense(g):
+        transposed, perm = structure.transposed()
+        return csr_matmat(transposed, ops.getitem(values, perm), g)
+
+    return make_node(
+        np.asarray(matrix @ dense.data), (values, dense), (vjp_values, vjp_dense)
+    )
+
+
+def masked_inverse_sqrt(degrees):
+    """``degrees^{-1/2}`` with non-positive entries mapped to exactly 0.
+
+    Mirrors the scipy path's ``inv_sqrt[~isfinite] = 0`` convention in
+    :func:`repro.graph.normalize_adjacency`: an isolated node (degree 0
+    without self-loops) contributes nothing instead of ``inf``/``nan``.
+    The guard is a constant mask, so gradients flow only through the
+    positive entries.
+    """
+    degrees = astensor(degrees)
+    positive = degrees.data > 0
+    safe = ops.where(positive, degrees, np.ones_like(degrees.data))
+    return ops.where(
+        positive, ops.power(safe, -0.5), np.zeros_like(degrees.data)
+    )
+
+
+class SparseNormalized:
+    """A normalized adjacency ``Ã`` as (constant CSR pattern, values tensor).
+
+    Drop-in operand for :func:`repro.nn.layers.adjacency_matmul`: unlike
+    the constant scipy branch, the values stay differentiable, so
+    gradients reach the underlying attack adjacency.
+    """
+
+    __slots__ = ("structure", "values", "shape")
+
+    def __init__(self, structure, values):
+        self.structure = structure
+        self.values = astensor(values)
+        self.shape = structure.shape
+
+    def matmul(self, dense):
+        """``Ã @ dense`` via the fused CSR kernel."""
+        return csr_matmat(self.structure, self.values, astensor(dense))
+
+
+class SparseAttackAdjacency:
+    """Sparse, differentiable adjacency leaf for edge-insertion attacks.
+
+    The symmetric adjacency is parameterized by one value per unordered
+    pair ``{i < j}``: the graph's existing edges (value 1) followed by the
+    ``(victim, candidate)`` pairs under consideration (value 0).  Because
+    ``A[i, j] = A[j, i] = values[pair]``, the chain rule gives
+    ``∂L/∂values[pair] = G[i, j] + G[j, i]`` — the symmetrized candidate
+    score the dense attacks compute as ``(g + g.T)[victim, candidates]``
+    falls out of ``grad(loss, values)[candidate_slice]`` directly.
+
+    All index arrays (ordered COO expansion, CSR assembly permutation for
+    the normalized matrix) are computed once here and reused across every
+    loss/grad evaluation on this leaf.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "victim",
+        "candidates",
+        "num_edges",
+        "pair_rows",
+        "pair_cols",
+        "candidate_slice",
+        "values",
+        "expand_index",
+        "ordered_rows",
+        "ordered_cols",
+        "csr_perm",
+        "structure",
+    )
+
+    def __init__(self, graph, victim, candidates):
+        n = int(graph.num_nodes)
+        victim = int(victim)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        upper = sp.triu(graph.adjacency, k=1).tocoo()
+        edge_rows = upper.row.astype(np.int64)
+        edge_cols = upper.col.astype(np.int64)
+
+        self.num_nodes = n
+        self.victim = victim
+        self.candidates = candidates
+        self.num_edges = int(edge_rows.size)
+        self.pair_rows = np.concatenate([edge_rows, np.minimum(victim, candidates)])
+        self.pair_cols = np.concatenate([edge_cols, np.maximum(victim, candidates)])
+        self.candidate_slice = slice(self.num_edges, self.num_edges + candidates.size)
+        self.values = Tensor(
+            np.concatenate(
+                [upper.data.astype(np.float64), np.zeros(candidates.size)]
+            ),
+            requires_grad=True,
+        )
+
+        # Ordered (directed) expansion: each unordered pair appears twice.
+        num_pairs = self.pair_rows.size
+        self.expand_index = np.concatenate(
+            [np.arange(num_pairs, dtype=np.int64)] * 2
+        )
+        self.ordered_rows = np.concatenate([self.pair_rows, self.pair_cols])
+        self.ordered_cols = np.concatenate([self.pair_cols, self.pair_rows])
+
+        # CSR layout of Ã = off-diagonal support plus the full diagonal
+        # (self-loops keep every node, isolated ones included, on the
+        # diagonal).  The scipy round-trip yields canonical sorted CSR and
+        # the permutation mapping [ordered entries ; diagonal] into it.
+        diagonal = np.arange(n, dtype=np.int64)
+        all_rows = np.concatenate([self.ordered_rows, diagonal])
+        all_cols = np.concatenate([self.ordered_cols, diagonal])
+        pattern = sp.csr_matrix(
+            (
+                np.arange(1, all_rows.size + 1, dtype=np.float64),
+                (all_rows, all_cols),
+            ),
+            shape=(n, n),
+        )
+        self.csr_perm = pattern.data.astype(np.int64) - 1
+        self.structure = CSRStructure((n, n), pattern.indptr, pattern.indices)
+
+    def ordered_values(self):
+        """Pair values expanded to the directed entry list (length 2·m)."""
+        return ops.getitem(self.values, self.expand_index)
+
+    def candidate_gradients(self, loss_gradient):
+        """Slice a ``grad(loss, self.values)`` result down to candidates."""
+        return loss_gradient.data[self.candidate_slice]
+
+    def assemble_normalized(self, ordered_edge_values, degree_offset=None):
+        """Build ``D̃^{-1/2}(A + I)D̃^{-1/2}`` from directed edge values.
+
+        One scatter pass fuses the degree reduction; the guarded inverse
+        square root replicates the dense self-loop + ``degree_offset``
+        convention exactly, then off-diagonal and diagonal values are
+        gathered into the precomputed CSR layout.
+        """
+        degrees = (
+            ops.scatter_add((self.num_nodes,), self.ordered_rows, ordered_edge_values)
+            + 1.0
+        )
+        if degree_offset is not None:
+            degrees = degrees + Tensor(np.asarray(degree_offset, dtype=np.float64))
+        inv_sqrt = masked_inverse_sqrt(degrees)
+        off_diagonal = (
+            ordered_edge_values
+            * ops.getitem(inv_sqrt, self.ordered_rows)
+            * ops.getitem(inv_sqrt, self.ordered_cols)
+        )
+        diagonal = inv_sqrt * inv_sqrt
+        values = ops.getitem(
+            ops.concatenate([off_diagonal, diagonal], axis=0), self.csr_perm
+        )
+        return SparseNormalized(self.structure, values)
+
+    def normalized(self, degree_offset=None):
+        """Normalized adjacency of the current (unmasked) values."""
+        return self.assemble_normalized(
+            self.ordered_values(), degree_offset=degree_offset
+        )

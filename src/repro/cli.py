@@ -274,15 +274,25 @@ def main(argv=None):
 
 def _arena(session, args):
     """Run (or resume) the attack × defense robustness arena."""
+    from repro.api.specs import ThreatModel
     from repro.arena import ResultStore, ScenarioGrid, render_arena_matrices
 
+    # Parse threat tokens up front so a typo surfaces as a clean one-line
+    # error instead of a traceback out of the grid constructor.
+    try:
+        threats = tuple(
+            ThreatModel.parse(token)
+            for token in (args.threats or ("white_box+oblivious",))
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
     grid = ScenarioGrid(
         datasets=tuple(args.dataset or ("cora",)),
         attacks=tuple(args.attacks.split(",")),
         defenses=tuple(args.defenses.split(",")),
         budget_caps=tuple(int(b) for b in args.budgets.split(",")),
         seeds=tuple(int(s) for s in args.seeds.split(",")),
-        threats=tuple(args.threats or ("white_box+oblivious",)),
+        threats=threats,
     )
     store = ResultStore(args.store)
     run = session.arena(grid, store, progress=print, fresh=args.fresh)

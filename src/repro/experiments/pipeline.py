@@ -56,6 +56,10 @@ class PreparedCase:
     test_accuracy: float
     config: object
     seed: int
+    #: Compute backend preference threaded from ``Session``/``prepare_case``
+    #: into ``build_attack`` (``None`` = defer to ``REPRO_BACKEND``).  An
+    #: execution detail: never part of store keys or result payloads.
+    backend: object = None
 
 
 @dataclass(frozen=True)
@@ -96,8 +100,13 @@ class MethodEvaluation:
         }
 
 
-def prepare_case(dataset_name, config, seed=None):
-    """Generate the dataset, train the GCN, cache clean predictions."""
+def prepare_case(dataset_name, config, seed=None, backend=None):
+    """Generate the dataset, train the GCN, cache clean predictions.
+
+    ``backend`` is carried on the returned case for attack construction
+    (see :class:`PreparedCase`); training itself always runs the constant
+    scipy sparse path and is backend-independent.
+    """
     seed = config.seed if seed is None else int(seed)
     graph = load_dataset(dataset_name, scale=config.dataset_scale, seed=seed)
     split = random_split(graph.num_nodes, seed=seed + 1)
@@ -131,6 +140,7 @@ def prepare_case(dataset_name, config, seed=None):
         test_accuracy=result.test_accuracy,
         config=config,
         seed=seed,
+        backend=backend,
     )
 
 

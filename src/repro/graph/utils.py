@@ -106,21 +106,37 @@ def row_normalize_adjacency(adjacency, self_loops=True):
 
 
 def k_hop_nodes(adjacency, node, hops):
-    """Nodes within ``hops`` of ``node`` (inclusive), sorted ascending."""
+    """Nodes within ``hops`` of ``node`` (inclusive), sorted ascending.
+
+    One fused gather per hop: the frontier's CSR neighbor slices are
+    collected with a single vectorized index expression and deduplicated
+    with ``np.unique`` — no per-node Python loop.  Output is identical to
+    the set-based BFS it replaces (sorted unique int64 ids).
+    """
     adjacency = sp.csr_matrix(adjacency)
-    frontier = {int(node)}
-    visited = {int(node)}
+    indptr, indices = adjacency.indptr, adjacency.indices
+    visited = np.array([int(node)], dtype=np.int64)
+    frontier = visited
     for _ in range(hops):
-        next_frontier = set()
-        for current in frontier:
-            start, stop = adjacency.indptr[current], adjacency.indptr[current + 1]
-            next_frontier.update(int(j) for j in adjacency.indices[start:stop])
-        next_frontier -= visited
-        visited |= next_frontier
-        frontier = next_frontier
-        if not frontier:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
             break
-    return np.array(sorted(visited), dtype=np.int64)
+        # gathered[k] walks each frontier node's slice contiguously.
+        offsets = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        neighbors = np.unique(
+            indices[np.arange(total, dtype=np.int64) + offsets].astype(np.int64)
+        )
+        frontier = neighbors[
+            ~np.isin(neighbors, visited, assume_unique=True)
+        ]
+        if frontier.size == 0:
+            break
+        visited = np.union1d(visited, frontier)
+    return visited
 
 
 def k_hop_reach(adjacency, seeds, hops):

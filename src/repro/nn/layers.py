@@ -1,9 +1,11 @@
 """Neural-network layers: Linear, GCNConv, Dropout.
 
-``GCNConv`` accepts the normalized adjacency either as a constant scipy
-sparse matrix (fast path for training on a fixed graph) or as a dense
+``GCNConv`` accepts the normalized adjacency as a constant scipy sparse
+matrix (fast path for training on a fixed graph), a dense
 :class:`~repro.autodiff.Tensor` (differentiable path used by the attacks,
-where gradients with respect to adjacency entries are needed).
+where gradients with respect to adjacency entries are needed), or a
+:class:`~repro.autodiff.SparseNormalized` (the sparse backend's
+differentiable CSR path — same gradients, ``O(nnz)`` cost).
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import scipy.sparse as sp
 
 from repro.autodiff import functional as F
 from repro.autodiff import ops
+from repro.autodiff.sparse_ops import SparseNormalized
 from repro.autodiff.tensor import Tensor, astensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
@@ -24,10 +27,14 @@ def adjacency_matmul(adjacency, features):
     """Multiply an adjacency operator with a dense feature tensor.
 
     * scipy sparse matrix → constant sparse product (:func:`repro.autodiff.spmm`)
+    * :class:`~repro.autodiff.SparseNormalized` → fused CSR product with
+      differentiable values (:func:`repro.autodiff.csr_matmat`)
     * :class:`Tensor` / ndarray → dense differentiable matmul
     """
     if sp.issparse(adjacency):
         return ops.spmm(adjacency.tocsr(), features)
+    if isinstance(adjacency, SparseNormalized):
+        return adjacency.matmul(astensor(features))
     return ops.matmul(astensor(adjacency), features)
 
 

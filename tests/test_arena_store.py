@@ -163,6 +163,49 @@ class TestResultStore:
         store.clear()
         assert len(store) == 0
 
+    def test_clear_removes_empty_shard_directories(self, tmp_path):
+        """--fresh leaves no empty two-level shard dirs behind."""
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(6)]
+        for key in keys:
+            store.put(key, {"i": key})
+        store.clear()
+        assert store.root.is_dir()
+        assert [entry for entry in store.root.iterdir()] == []
+        # The cleared store resumes cleanly.
+        store.put(keys[0], {"again": True})
+        assert store.get(keys[0]) == {"again": True}
+
+    def test_failed_put_leaves_no_temp_orphan(self, tmp_path, monkeypatch):
+        """A put that dies mid-write cleans its temp file up and re-raises."""
+        from pathlib import Path
+
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"fault": 1})
+        real_write_text = Path.write_text
+
+        def failing_write_text(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                real_write_text(self, "torn", encoding="utf-8")
+                raise OSError("disk full")
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "write_text", failing_write_text)
+        try:
+            store.put(key, {"v": 1})
+        except OSError as error:
+            assert "disk full" in str(error)
+        else:  # pragma: no cover - the fault must propagate
+            raise AssertionError("put swallowed the write failure")
+        monkeypatch.undo()
+        # No torn record, no orphaned temp file anywhere under the root.
+        assert key not in store
+        assert list(store.root.rglob("*.tmp")) == []
+        assert list(store.root.rglob(".*.tmp")) == []
+        # And the store resumes cleanly after the fault.
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+
     def test_clear_removes_orphaned_temp_files(self, tmp_path):
         """A writer killed mid-put leaves a .tmp; --fresh must remove it."""
         store = ResultStore(tmp_path / "store")

@@ -69,6 +69,34 @@ class TestParser:
         assert threats[1].surrogate_seed == 3
         assert threats[2].defense == "jaccard"
 
+    @pytest.mark.parametrize(
+        "token, fragment",
+        [
+            ("blackbox", "bad threat part 'blackbox'"),
+            ("surrogate+surrogate:h8", "duplicate knowledge axis"),
+            ("oblivious+adaptive:jaccard", "duplicate adaptivity axis"),
+            ("surrogate:x8", "bad surrogate token 'x8'"),
+            ("surrogate:h8,sx", "bad surrogate token 'sx'"),
+        ],
+    )
+    def test_arena_bad_threat_exits_cleanly(self, token, fragment, tmp_path):
+        """A malformed --threat is a one-line error, not a traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "arena",
+                    "--store",
+                    str(tmp_path / "store"),
+                    "--threat",
+                    token,
+                ]
+            )
+        message = str(excinfo.value)
+        assert message.startswith("error: ")
+        assert fragment in message
+        # Nothing ran: the store directory was never created.
+        assert not (tmp_path / "store").exists()
+
 
 class TestExecution:
     def test_table3_runs(self, capsys):

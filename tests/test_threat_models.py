@@ -288,3 +288,41 @@ class TestResolveThreat:
         resolved = resolve_threat("surrogate:h8,s3", CONFIG, 5)
         assert resolved.surrogate_hidden == 8
         assert resolved.surrogate_seed == 3
+
+
+class TestParseErrors:
+    """Malformed --threat tokens must raise clean ValueErrors."""
+
+    def test_unknown_part_is_rejected(self):
+        with pytest.raises(ValueError, match="bad threat part 'blackbox'"):
+            ThreatModel.parse("blackbox")
+
+    def test_adaptive_without_defense_is_rejected(self):
+        with pytest.raises(ValueError, match="bad threat part 'adaptive'"):
+            ThreatModel.parse("adaptive")
+
+    def test_malformed_surrogate_suffix_is_rejected(self):
+        with pytest.raises(ValueError, match="bad surrogate token 'x8'"):
+            ThreatModel.parse("surrogate:x8")
+        with pytest.raises(ValueError, match="bad surrogate token 'h'"):
+            ThreatModel.parse("surrogate:h,s3")
+
+    def test_duplicate_knowledge_axis_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate knowledge axis"):
+            ThreatModel.parse("surrogate+surrogate:h8")
+        with pytest.raises(ValueError, match="duplicate knowledge axis"):
+            ThreatModel.parse("white_box+surrogate")
+
+    def test_duplicate_adaptivity_axis_is_rejected(self):
+        with pytest.raises(ValueError, match="duplicate adaptivity axis"):
+            ThreatModel.parse("adaptive:jaccard+adaptive:svd")
+        with pytest.raises(ValueError, match="duplicate adaptivity axis"):
+            ThreatModel.parse("oblivious+preprocess_aware:jaccard")
+
+    def test_explicit_defaults_still_parse(self):
+        # The CLI's default token spells out both axes once each.
+        assert ThreatModel.parse("white_box+oblivious").is_default
+        assert ThreatModel.parse("").is_default
+        assert ThreatModel.parse("surrogate:h8+adaptive:jaccard").defense == (
+            "jaccard"
+        )
