@@ -1,0 +1,153 @@
+"""Result-store scale benchmark: manifest index vs v1 directory walks.
+
+Drives the v2 :class:`~repro.arena.ResultStore` to ``10^5`` records and
+records write/read/resume throughput in ``BENCH_store_scale.json`` at the
+repo root, alongside a head-to-head against the v1 strategy (enumerate
+keys by walking the two-level shard tree) that the manifest replaced.
+
+Two entry points:
+
+* ``test_bench_store_scale_smoke`` always runs at a few thousand records
+  — a CI-sized guard that the manifest index stays faster than walking.
+* ``test_bench_store_scale_full`` is the committed-number run.  It is
+  skipped at smoke scale unless ``REPRO_STORE_BENCH_RECORDS`` is set
+  (the BENCH json in the repo was produced with ``100000``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.arena import ResultStore, content_key
+
+from conftest import active_scale
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_store_scale.json",
+)
+
+#: Durable (per-record fsync) writes are benchmarked on a slice this size;
+#: the bulk path covers the rest.  Arena sweeps write through ``bulk()``.
+DURABLE_SLICE = 500
+
+
+def _payload(i):
+    """A record shaped like a (small) arena victim result."""
+    return {
+        "schema": 1,
+        "cell": {"attack": {"name": "FGA-T"}, "bench_index": i},
+        "victim": i % 997,
+        "result": {"success": bool(i % 2), "budget_used": i % 5},
+    }
+
+
+def _v1_walk_keys(root):
+    """Byte-for-byte the v1 ``keys()`` strategy: walk the shard tree."""
+    found = []
+    for shard in root.iterdir():
+        if not (shard.is_dir() and len(shard.name) == 2):
+            continue
+        for record in shard.iterdir():
+            if record.suffix == ".json" and not record.name.endswith(
+                ".corrupt"
+            ):
+                found.append(record.stem)
+    return sorted(found)
+
+
+def _run_store_benchmark(root, count):
+    keys = [content_key({"bench": i}) for i in range(count)]
+    store = ResultStore(root)
+
+    start = time.perf_counter()
+    for i in range(DURABLE_SLICE):
+        store.put(keys[i], _payload(i))
+    durable_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with store.bulk():
+        for i in range(DURABLE_SLICE, count):
+            store.put(keys[i], _payload(i))
+    bulk_seconds = time.perf_counter() - start
+
+    # Resume cost, v2: a fresh process loads the manifest once, then every
+    # membership probe is an in-memory dict hit.  Best of two fresh opens
+    # so both contenders get warm page caches.
+    def index_resume():
+        fresh = ResultStore(root)
+        begin = time.perf_counter()
+        assert len(fresh) == count
+        hits = sum(1 for key in keys if key in fresh)
+        assert hits == count
+        return time.perf_counter() - begin
+
+    # Resume cost, v1: enumerate keys by walking the shard tree.
+    def walk_resume():
+        begin = time.perf_counter()
+        walked = set(_v1_walk_keys(root))
+        assert len(walked) == count
+        hits = sum(1 for key in keys if key in walked)
+        assert hits == count
+        return time.perf_counter() - begin
+
+    walk_seconds = min(walk_resume(), walk_resume())
+    index_seconds = min(index_resume(), index_resume())
+
+    # Random reads through checksum verification.
+    reader = ResultStore(root)
+    sample = random.Random(0).sample(keys, min(1000, count))
+    start = time.perf_counter()
+    for key in sample:
+        payload = reader.get(key)
+        assert payload is not None
+    read_seconds = time.perf_counter() - start
+
+    return {
+        "records": count,
+        "durable_writes_per_second": round(DURABLE_SLICE / durable_seconds, 1),
+        "bulk_writes_per_second": round(
+            (count - DURABLE_SLICE) / bulk_seconds, 1
+        ),
+        "reads_per_second": round(len(sample) / read_seconds, 1),
+        "resume_index_seconds": round(index_seconds, 4),
+        "resume_v1_walk_seconds": round(walk_seconds, 4),
+        "resume_speedup_vs_v1_walk": round(walk_seconds / index_seconds, 2),
+    }
+
+
+def test_bench_store_scale_smoke(tmp_path):
+    """CI-sized guard: the manifest index must beat the v1 walk it replaced."""
+    record = _run_store_benchmark(tmp_path / "store", 2000)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    assert record["resume_index_seconds"] < record["resume_v1_walk_seconds"]
+    # Sanity floors, far below any real machine, to catch pathologies.
+    assert record["bulk_writes_per_second"] > 200
+    assert record["reads_per_second"] > 200
+
+
+def test_bench_store_scale_full(tmp_path):
+    """The committed-number run: >=10^5 records into BENCH_store_scale.json."""
+    env = os.environ.get("REPRO_STORE_BENCH_RECORDS")
+    if env:
+        count = int(env)
+    elif active_scale() != "smoke":
+        count = 100_000
+    else:
+        pytest.skip(
+            "full store-scale bench runs with REPRO_STORE_BENCH_RECORDS set "
+            "or REPRO_SCALE != smoke"
+        )
+    record = _run_store_benchmark(tmp_path / "store", count)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    assert record["resume_index_seconds"] < record["resume_v1_walk_seconds"]

@@ -22,6 +22,7 @@ __all__ = [
     "VictimEvaluated",
     "MethodEvaluated",
     "SweepPointEvaluated",
+    "CellDeferred",
     "CellExecuted",
     "VictimAttacked",
     "CellScored",
@@ -92,6 +93,19 @@ class VictimAttacked:
     cell: object  # repro.arena.ScenarioCell
     victim: object  # repro.attacks.VictimSpec
     loaded: bool  # True: served from the store; False: executed now
+
+
+@dataclass(frozen=True)
+class CellDeferred:
+    """Arena: a cell is leased by another live run; it will be re-polled.
+
+    Emitted at most once per deferred cell on the first pass; the cell's
+    ``CellExecuted``/``CellScored`` events arrive later, once the foreign
+    writer commits its results (or its lease expires and is stolen).
+    """
+
+    cell: object  # repro.arena.ScenarioCell
+    missing: int
 
 
 @dataclass(frozen=True)

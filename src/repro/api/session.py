@@ -26,12 +26,14 @@ registry's shared conventions (attack ``+21``, inspector ``+41``, PG
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 import numpy as np
 
 from repro.api.events import (
     CasePrepared,
+    CellDeferred,
     CellExecuted,
     CellScored,
     MethodEvaluated,
@@ -55,7 +57,13 @@ from repro.api.specs import (
     SweepExperiment,
     TableExperiment,
 )
-from repro.arena.grid import SCHEMA_VERSION, cell_config, victim_dict, victim_key
+from repro.arena.grid import (
+    SCHEMA_VERSION,
+    cell_config,
+    content_key,
+    victim_dict,
+    victim_key,
+)
 from repro.arena.runner import ArenaRun, CellEvaluation
 from repro.arena.store import ResultStore
 from repro.attacks import (
@@ -465,15 +473,25 @@ class Session:
             self.run(SweepExperiment(kind=kind, dataset=dataset, values=values))
         )
 
-    def arena(self, grid, store, progress=None, fresh=False):
+    def arena(
+        self, grid, store, progress=None, fresh=False,
+        lease_ttl=None, poll_interval=None,
+    ):
         """Attack × defense matrix against a result store; returns ArenaRun.
 
         ``progress`` (``callable(str)``) receives the historical one line
-        per execution cell.
+        per execution cell.  ``lease_ttl``/``poll_interval`` tune the
+        multi-writer coordination (see :class:`ArenaExperiment`); the
+        defaults are right for everything but tests.
         """
+        overrides = {}
+        if lease_ttl is not None:
+            overrides["lease_ttl"] = float(lease_ttl)
+        if poll_interval is not None:
+            overrides["poll_interval"] = float(poll_interval)
         result = None
         for event in self.run(
-            ArenaExperiment(grid=grid, store=store, fresh=fresh)
+            ArenaExperiment(grid=grid, store=store, fresh=fresh, **overrides)
         ):
             if progress is not None and isinstance(event, CellExecuted):
                 progress(
@@ -613,6 +631,11 @@ class Session:
                 )
         run = ArenaRun(grid=grid, config=config)
 
+        # First pass: execute every cell whose lease we win immediately.
+        # A cell leased by another live run is deferred, not blocked on —
+        # with a single writer (the historical case) no lease is ever
+        # contested, so ordering and results are unchanged.
+        pending = []
         for cell in grid.cells():
             case, victims = self.prepared(
                 cell.dataset, seed=cell.seed, hidden=cell.hidden
@@ -627,60 +650,150 @@ class Session:
             ]
             cfg = cell_config(cell, config)
             keys = [victim_key(cfg, spec) for spec in specs]
+            # Read *through* the store up front: a missing, torn or
+            # quarantined record is simply a miss to re-execute.
+            payloads = {key: store.get(key) for key in keys}
             missing = [
-                (spec, key) for spec, key in zip(specs, keys) if key not in store
+                (spec, key)
+                for spec, key in zip(specs, keys)
+                if payloads[key] is None
             ]
-            missing_keys = {key for _, key in missing}
+            executed_keys = frozenset()
             if missing:
-                from repro.threat import execute_with_threat, resolve_threat
-
-                threat = resolve_threat(cell.threat, config, cell.seed)
-                attack = build_attack(
-                    cell.attack, case, config, context=self, threat=threat,
-                    backend=self.backend,
+                lease = store.try_lease(
+                    content_key(cfg), ttl=experiment.lease_ttl
                 )
-                results = execute_with_threat(
-                    attack,
-                    case,
-                    [spec for spec, _ in missing],
-                    threat=threat,
-                    defense=self._attacker_defense(threat, case, cell),
-                    jobs=self.jobs,
-                )
-                run.executed += len(results)
-                for (spec, key), result in zip(missing, results):
-                    store.put(
-                        key,
-                        {
-                            "schema": SCHEMA_VERSION,
-                            "cell": cfg,
-                            "victim": victim_dict(spec),
-                            "result": result.to_dict(),
-                        },
+                if lease is None:
+                    run.deferred += 1
+                    yield CellDeferred(cell=cell, missing=len(missing))
+                    pending.append((cell, case, specs, cfg, keys))
+                    continue
+                try:
+                    executed_keys = self._execute_missing(
+                        run, store, cell, case, cfg, missing
                     )
-            run.loaded += len(specs) - len(missing)
-            for spec, key in zip(specs, keys):
-                yield VictimAttacked(
-                    cell=cell, victim=spec, loaded=key not in missing_keys
-                )
-            yield CellExecuted(
-                cell=cell,
-                cached=len(specs) - len(missing),
-                executed=len(missing),
+                finally:
+                    lease.release()
+            run.loaded += len(specs) - len(executed_keys)
+            yield from self._finish_cell(
+                run, grid, store, cell, case, specs, keys, executed_keys,
+                payloads,
             )
-            # Always evaluate through the store: serialize → deserialize →
-            # rebuild, so warm and cold runs see bit-identical inputs.
-            results = [
-                AttackResult.from_dict(store.get(key)["result"], graph=case.graph)
-                for key in keys
-            ]
-            for defense_name in grid.defenses:
-                evaluation = self._score_defense(
-                    cell, defense_name, case, specs, results
+
+        # Re-poll deferred cells until their foreign writers commit (or
+        # die: an expired lease is stolen and the leftovers executed here).
+        while pending:
+            still_pending = []
+            for cell, case, specs, cfg, keys in pending:
+                payloads = {key: store.get(key) for key in keys}
+                missing = [
+                    (spec, key)
+                    for spec, key in zip(specs, keys)
+                    if payloads[key] is None
+                ]
+                executed_keys = frozenset()
+                if missing:
+                    lease = store.try_lease(
+                        content_key(cfg), ttl=experiment.lease_ttl
+                    )
+                    if lease is None:
+                        still_pending.append((cell, case, specs, cfg, keys))
+                        continue
+                    try:
+                        executed_keys = self._execute_missing(
+                            run, store, cell, case, cfg, missing
+                        )
+                    finally:
+                        lease.release()
+                run.loaded += len(specs) - len(executed_keys)
+                yield from self._finish_cell(
+                    run, grid, store, cell, case, specs, keys, executed_keys,
+                    payloads,
                 )
-                run.evaluations.append(evaluation)
-                yield CellScored(evaluation)
+            pending = still_pending
+            if pending:
+                time.sleep(experiment.poll_interval)
         yield RunCompleted(run)
+
+    def _execute_missing(self, run, store, cell, case, cfg, missing):
+        """Attack a cell's missing victims under a held lease; store results.
+
+        Returns the keys *this run* executed.  The previous lease holder
+        may have committed some of ``missing`` between our store read and
+        the acquisition, so membership is re-checked under the lease —
+        that re-check is what makes concurrent overlapping grids execute
+        each unique victim exactly once.
+        """
+        from repro.threat import execute_with_threat, resolve_threat
+
+        missing = [
+            (spec, key) for spec, key in missing if store.get(key) is None
+        ]
+        if not missing:
+            return frozenset()
+        threat = resolve_threat(cell.threat, self.config, cell.seed)
+        attack = build_attack(
+            cell.attack, case, self.config, context=self, threat=threat,
+            backend=self.backend,
+        )
+        results = execute_with_threat(
+            attack,
+            case,
+            [spec for spec, _ in missing],
+            threat=threat,
+            defense=self._attacker_defense(threat, case, cell),
+            jobs=self.jobs,
+        )
+        run.executed += len(results)
+        with store.bulk():
+            for (spec, key), result in zip(missing, results):
+                store.put(
+                    key,
+                    {
+                        "schema": SCHEMA_VERSION,
+                        "cell": cfg,
+                        "victim": victim_dict(spec),
+                        "result": result.to_dict(),
+                    },
+                )
+        return frozenset(key for _, key in missing)
+
+    def _finish_cell(
+        self, run, grid, store, cell, case, specs, keys, executed_keys, payloads
+    ):
+        """Emit a completed cell's events and score every defense on it."""
+        for spec, key in zip(specs, keys):
+            yield VictimAttacked(
+                cell=cell, victim=spec, loaded=key not in executed_keys
+            )
+        yield CellExecuted(
+            cell=cell,
+            cached=len(specs) - len(executed_keys),
+            executed=len(executed_keys),
+        )
+        # Always evaluate through the store: serialize → deserialize →
+        # rebuild, so warm and cold runs see bit-identical inputs.  Keys
+        # executed (by us or a concurrent writer) since the first read
+        # are re-fetched from disk.
+        results = []
+        for key in keys:
+            payload = payloads.get(key)
+            if payload is None:
+                payload = store.get(key)
+            if payload is None:
+                raise RuntimeError(
+                    f"arena store record {key[:12]}… vanished mid-run "
+                    "(concurrent clear, or repeated corruption?)"
+                )
+            results.append(
+                AttackResult.from_dict(payload["result"], graph=case.graph)
+            )
+        for defense_name in grid.defenses:
+            evaluation = self._score_defense(
+                cell, defense_name, case, specs, results
+            )
+            run.evaluations.append(evaluation)
+            yield CellScored(evaluation)
 
     def _attacker_defense(self, threat, case, cell):
         """The adaptive attacker's simulation of its adapted defense.

@@ -514,8 +514,18 @@ class SweepExperiment:
 
 @dataclass(frozen=True)
 class ArenaExperiment:
-    """An attack × defense scenario matrix against a result store."""
+    """An attack × defense scenario matrix against a result store.
+
+    ``lease_ttl`` and ``poll_interval`` govern multi-writer coordination:
+    a cell with missing results executes under an advisory store lease,
+    cells leased by another live run are deferred and re-polled every
+    ``poll_interval`` seconds, and a lease older than ``lease_ttl``
+    (a dead writer) is stolen.  A single-writer run acquires every lease
+    uncontested, so these change nothing about its results or ordering.
+    """
 
     grid: object  # repro.arena.ScenarioGrid
     store: object  # repro.arena.ResultStore or a path for one
     fresh: bool = False
+    lease_ttl: float = 900.0
+    poll_interval: float = 0.5

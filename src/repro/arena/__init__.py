@@ -41,12 +41,13 @@ from repro.arena.runner import (
     build_arena_attack,
     run_arena,
 )
-from repro.arena.store import ResultStore
+from repro.arena.store import Lease, ResultStore
 
 __all__ = [
     "SCHEMA_VERSION",
     "ArenaRun",
     "CellEvaluation",
+    "Lease",
     "ResultStore",
     "ScenarioCell",
     "ScenarioGrid",

@@ -46,6 +46,9 @@ class ArenaRun:
     config: object
     executed: int = 0
     loaded: int = 0
+    #: Cells found leased by another live run on the first pass (their
+    #: results were later loaded, stolen-and-executed, or both).
+    deferred: int = 0
     evaluations: list = field(default_factory=list)
 
     def stats_line(self):
@@ -56,13 +59,28 @@ class ArenaRun:
         )
 
 
-def run_arena(grid, store, config=None, jobs=1, cases=None, progress=None):
+def run_arena(
+    grid,
+    store,
+    config=None,
+    jobs=1,
+    cases=None,
+    progress=None,
+    lease_ttl=None,
+    poll_interval=None,
+):
     """Run (or resume) a scenario grid against a result store.
 
     Forwards to the façade: equivalent to
     ``Session(config=config, jobs=jobs, cases=cases).arena(grid, store,
     progress=progress)``.  See :class:`repro.api.Session` for the
     streaming event interface this drains.
+
+    N concurrent ``run_arena`` calls (processes or hosts sharing the
+    store's filesystem) may execute overlapping grids: per-cell advisory
+    leases make each unique cell execute exactly once, with the losers
+    re-polling the store (every ``poll_interval`` seconds) and stealing
+    leases older than ``lease_ttl`` seconds from dead writers.
 
     Parameters
     ----------
@@ -91,7 +109,13 @@ def run_arena(grid, store, config=None, jobs=1, cases=None, progress=None):
     from repro.api.session import Session
 
     session = Session(config=config, jobs=jobs, cases=cases)
-    return session.arena(grid, store, progress=progress)
+    return session.arena(
+        grid,
+        store,
+        progress=progress,
+        lease_ttl=lease_ttl,
+        poll_interval=poll_interval,
+    )
 
 
 def build_arena_attack(name, case, config, memo=None):

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store for arena cells.
+"""Content-addressed, manifest-indexed on-disk result store for arena cells.
 
 One JSON file per result, at ``root/<key[:2]>/<key>.json`` (two-level
 fan-out keeps directories small on big sweeps).  Keys are the canonical
@@ -6,42 +6,278 @@ content hashes of :func:`repro.arena.grid.victim_key`; payloads are
 :meth:`repro.attacks.AttackResult.to_dict` records wrapped with their cell
 metadata.
 
+**v2 layout** adds two coordination artifacts next to the shard tree:
+
+* ``MANIFEST`` — an append-only index, one tab-separated line per
+  committed record (``v2\\t<key>\\t<shard-path>\\t<length>\\t<sha256>``,
+  fsync'd on commit).  ``keys()`` / ``__contains__`` / ``__len__`` read an
+  in-memory index loaded from this file once, instead of walking the
+  directory tree on every call.  The manifest is an *index*, not the
+  source of truth: the shard tree is.  A record written by another
+  process (or by a writer killed between the record write and its
+  manifest append) is still found by ``get``/``__contains__`` through a
+  direct O(1) path probe, and :meth:`compact` rebuilds the manifest from
+  the shard tree at any time.  A v1 store (records, no ``MANIFEST``)
+  migrates transparently: the first index access rebuilds the manifest in
+  place and every record stays byte-identical under its original key.
+* ``.leases/`` — advisory per-name lease files (see :meth:`try_lease`)
+  that let N concurrent runs — processes or hosts on a shared
+  filesystem — split one grid and execute each unique cell exactly once.
+
 Writes are atomic (temp file + ``os.replace``), so a killed run leaves
 either a complete record or nothing — never a torn file — which is what
-makes ``--resume`` after a mid-sweep kill safe without any journal.
+makes ``--resume`` after a mid-sweep kill safe without any journal.  On
+top of that, ``get`` verifies every record it reads (manifest checksum +
+JSON parse) and treats anything unreadable as a cache miss: the bad file
+is quarantined (renamed to ``*.corrupt``) instead of crashing the resume,
+and the victim simply re-executes.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import socket
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from hashlib import sha256
 from pathlib import Path
 
 from repro.arena.grid import canonical_json
 
-__all__ = ["ResultStore"]
+__all__ = ["Lease", "ResultStore"]
+
+logger = logging.getLogger(__name__)
+
+#: Manifest line tags: a committed record, and a dropped (quarantined) key.
+_PUT, _DROP = "v2", "v2-drop"
+
+
+@dataclass
+class Lease:
+    """An advisory, expiring, exclusive claim on a store-scoped name.
+
+    Returned by :meth:`ResultStore.try_lease`.  Purely advisory: it
+    coordinates cooperating writers (each unique arena cell executes
+    exactly once across N concurrent runs) but protects nothing against a
+    writer that ignores it.  A lease left behind by a killed process
+    expires after its TTL and is stolen by the next claimant.
+    """
+
+    path: Path
+    token: str
+
+    def release(self):
+        """Drop the lease if we still hold it (no-op after a steal)."""
+        try:
+            content = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        if content.split("\t", 1)[0] == self.token:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
 
 
 class ResultStore:
-    """A directory of content-addressed JSON records."""
+    """A directory of content-addressed JSON records with a manifest index."""
+
+    MANIFEST_NAME = "MANIFEST"
+    LEASE_DIR = ".leases"
 
     def __init__(self, root):
         self.root = Path(root)
+        self._index_cache = None
+        self._bulk_depth = 0
+        self._pending_lines = []
+        self._pending_dirs = set()
+        self._corruption_logged = False
 
     def path(self, key):
         """Where a record with this content key lives."""
         return self.root / key[:2] / f"{key}.json"
 
+    # -- the manifest index --------------------------------------------------
+    @property
+    def _index(self):
+        """``key -> (relpath, length, sha256)``, loaded once per instance."""
+        if self._index_cache is None:
+            self._index_cache = self._load_index()
+        return self._index_cache
+
+    def _manifest_path(self):
+        return self.root / self.MANIFEST_NAME
+
+    def _load_index(self):
+        manifest = self._manifest_path()
+        if manifest.is_file():
+            index = {}
+            with open(manifest, "r", encoding="utf-8", errors="replace") as fh:
+                for line in fh:
+                    if not line.endswith("\n"):
+                        break  # torn tail from a writer killed mid-append
+                    parts = line.rstrip("\n").split("\t")
+                    if parts[0] == _PUT and len(parts) == 5:
+                        try:
+                            length = int(parts[3])
+                        except ValueError:
+                            continue
+                        index[parts[1]] = (parts[2], length, parts[4])
+                    elif parts[0] == _DROP and len(parts) == 2:
+                        index.pop(parts[1], None)
+            return index
+        if self._has_records():
+            # v1 store: records but no manifest — migrate in place.
+            return self._rebuild_index()
+        return {}
+
+    def _has_records(self):
+        if not self.root.is_dir():
+            return False
+        for shard in self.root.iterdir():
+            if not shard.is_dir() or shard.name.startswith("."):
+                continue
+            for entry in shard.iterdir():
+                if entry.name.endswith(".json") and not entry.name.startswith("."):
+                    return True
+        return False
+
+    def _rebuild_index(self):
+        """Scan the shard tree and atomically rewrite the manifest from it."""
+        index = {}
+        if self.root.is_dir():
+            for shard in sorted(self.root.iterdir()):
+                if not shard.is_dir() or shard.name.startswith("."):
+                    continue
+                for record in sorted(shard.iterdir()):
+                    name = record.name
+                    if not name.endswith(".json") or name.startswith("."):
+                        continue
+                    data = record.read_bytes()
+                    index[record.stem] = (
+                        f"{shard.name}/{name}",
+                        len(data),
+                        sha256(data).hexdigest(),
+                    )
+        if index or self._manifest_path().is_file():
+            self._write_manifest(index)
+        return index
+
+    def _write_manifest(self, index):
+        """Atomically replace the manifest with one line per live record."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        temp = self.root / f".{self.MANIFEST_NAME}.{os.getpid()}.tmp"
+        lines = [
+            self._manifest_line(key, relpath, length, digest)
+            for key, (relpath, length, digest) in sorted(index.items())
+        ]
+        fd = os.open(temp, os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, "".join(lines).encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(temp, self._manifest_path())
+        self._sync_directory(self.root)
+
+    @staticmethod
+    def _manifest_line(key, relpath, length, digest):
+        return f"{_PUT}\t{key}\t{relpath}\t{length}\t{digest}\n"
+
+    def _append_manifest(self, lines, durable=True):
+        if not lines:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self._manifest_path(), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, "".join(lines).encode("utf-8"))
+            if durable:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def compact(self):
+        """Rebuild the manifest from the shard tree (one line per record).
+
+        Folds duplicate append lines and drop tombstones away, and adopts
+        any record a crashed writer committed without its manifest line.
+        Call with no concurrent writers — appends racing a compaction can
+        be lost from the manifest (the records themselves are never
+        touched; a later compaction re-adopts them).
+        """
+        self._index_cache = self._rebuild_index()
+        return len(self._index_cache)
+
+    # -- reads ---------------------------------------------------------------
     def __contains__(self, key):
-        return self.path(key).is_file()
+        # Index first (O(1), no I/O); fall back to one path probe so
+        # records committed by other processes — or by a writer killed
+        # before its manifest append — are still visible.
+        return key in self._index or self.path(key).is_file()
 
     def get(self, key):
-        """The stored payload, or ``None`` when absent."""
-        path = self.path(key)
-        if not path.is_file():
-            return None
-        return json.loads(path.read_text(encoding="utf-8"))
+        """The stored payload, or ``None`` when absent *or unreadable*.
 
+        A torn, truncated or otherwise corrupt record is a cache miss,
+        not an exception: the file is renamed to ``*.corrupt`` (kept for
+        post-mortems), the key drops out of the index, and the caller
+        re-executes that victim.
+        """
+        path = self.path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self._drop(key)
+            return None
+        except OSError as error:
+            return self._quarantine(key, path, f"unreadable ({error})")
+        entry = self._index.get(key)
+        if entry is not None:
+            _, length, digest = entry
+            if length != len(data) or digest != sha256(data).hexdigest():
+                return self._quarantine(key, path, "manifest checksum mismatch")
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return self._quarantine(key, path, "unparseable JSON")
+
+    def keys(self):
+        """All manifest-indexed content keys, in key order."""
+        return sorted(self._index)
+
+    def __len__(self):
+        return len(self._index)
+
+    def _drop(self, key):
+        if self._index.pop(key, None) is not None:
+            self._append_manifest([f"{_DROP}\t{key}\n"], durable=False)
+
+    def _quarantine(self, key, path, reason):
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            target = None
+        self._drop(key)
+        message = (
+            "quarantined corrupt arena record %s (%s)%s; "
+            "treating it as a cache miss — the victim will re-execute"
+        )
+        where = f" -> {target.name}" if target is not None else ""
+        if not self._corruption_logged:
+            logger.warning(message, key[:12], reason, where)
+            self._corruption_logged = True
+        else:
+            logger.debug(message, key[:12], reason, where)
+        return None
+
+    # -- writes --------------------------------------------------------------
     def put(self, key, payload):
         """Atomically persist ``payload`` under ``key``.
 
@@ -49,21 +285,29 @@ class ResultStore:
         workers, parallel sweeps sharing a store) never clobber each
         other's temp files; last ``os.replace`` wins, and since keys are
         content hashes of the full config, racing writers are writing the
-        same record anyway.
+        same record anyway.  Once the record is durable, one manifest
+        line is appended and fsync'd — readers index the record from
+        there, and ``get`` falls back to the path itself for the
+        crash window between the two steps.
         """
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        data = canonical_json(payload)
         temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
-            temp.write_text(canonical_json(payload), encoding="utf-8")
-            # Flush the temp file to disk before the rename becomes visible:
-            # os.replace is only atomic with respect to the *name*, not the
-            # data, so without the fsync a crash could publish an empty file.
-            descriptor = os.open(temp, os.O_RDONLY)
-            try:
-                os.fsync(descriptor)
-            finally:
-                os.close(descriptor)
+            temp.write_text(data, encoding="utf-8")
+            if not self._bulk_depth:
+                # Flush the temp file to disk before the rename becomes
+                # visible: os.replace is only atomic with respect to the
+                # *name*, not the data, so without the fsync a crash could
+                # publish an empty file.  (Bulk mode skips this — the
+                # manifest checksum catches a torn record on read, which
+                # then simply re-executes.)
+                descriptor = os.open(temp, os.O_RDONLY)
+                try:
+                    os.fsync(descriptor)
+                finally:
+                    os.close(descriptor)
             os.replace(temp, path)
         except BaseException:
             try:
@@ -71,7 +315,44 @@ class ResultStore:
             except OSError:
                 pass
             raise
-        self._sync_directory(path.parent)
+        encoded = data.encode("utf-8")
+        relpath = f"{key[:2]}/{path.name}"
+        digest = sha256(encoded).hexdigest()
+        line = self._manifest_line(key, relpath, len(encoded), digest)
+        if self._bulk_depth:
+            self._pending_lines.append(line)
+            self._pending_dirs.add(path.parent)
+        else:
+            self._sync_directory(path.parent)
+            self._append_manifest([line])
+        self._index[key] = (relpath, len(encoded), digest)
+
+    @contextmanager
+    def bulk(self):
+        """Batch-commit context: one manifest fsync for many ``put`` calls.
+
+        Inside the block, per-record fsyncs and directory syncs are
+        deferred; on exit the buffered manifest lines land in one
+        append + fsync and every touched shard directory syncs once.
+        Durability weakens from per-record to per-batch — a crash inside
+        the block can leave torn records, but the manifest checksums turn
+        those into quarantined cache misses on the next read, so resume
+        stays exact either way.
+        """
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if not self._bulk_depth:
+                self._flush_bulk()
+
+    def _flush_bulk(self):
+        for directory in sorted(self._pending_dirs):
+            self._sync_directory(directory)
+        self._pending_dirs = set()
+        lines, self._pending_lines = self._pending_lines, []
+        self._append_manifest(lines)
 
     @staticmethod
     def _sync_directory(directory):
@@ -87,33 +368,99 @@ class ResultStore:
         finally:
             os.close(descriptor)
 
-    def keys(self):
-        """All stored content keys (unordered)."""
-        if not self.root.is_dir():
-            return []
-        return [
-            entry.stem
-            for shard in sorted(self.root.iterdir())
-            if shard.is_dir()
-            for entry in sorted(shard.glob("*.json"))
-        ]
-
-    def __len__(self):
-        return len(self.keys())
-
     def clear(self):
-        """Delete every stored record and orphaned temp file (``--fresh``)."""
-        for key in self.keys():
-            self.path(key).unlink()
+        """Delete every record, the manifest, leases and orphans (``--fresh``).
+
+        Indexed records unlink straight from the manifest index (no
+        directory walk per key); one final sweep over the shard dirs
+        catches what the index cannot know about — orphaned temp files,
+        quarantined ``*.corrupt`` records, lease files and records whose
+        writer died before the manifest append — and drops the emptied
+        directories so a cleared store is indistinguishable from a fresh
+        one.
+        """
+        for relpath, _, _ in self._index.values():
+            try:
+                (self.root / relpath).unlink()
+            except OSError:
+                pass
+        self._index_cache = {}
+        self._pending_lines = []
+        self._pending_dirs = set()
+        try:
+            self._manifest_path().unlink()
+        except OSError:
+            pass
         if self.root.is_dir():
-            # Temp files survive only when a writer was killed mid-put.
-            for orphan in self.root.glob("*/.*.tmp"):
-                orphan.unlink()
-            # Drop the now-empty two-level shard directories too, so a
-            # cleared store is indistinguishable from a fresh one.
-            for shard in self.root.iterdir():
-                if shard.is_dir():
+            for shard in list(self.root.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for leftover in list(shard.iterdir()):
                     try:
-                        shard.rmdir()
+                        leftover.unlink()
                     except OSError:
                         pass
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+
+    # -- leases --------------------------------------------------------------
+    def try_lease(self, name, ttl=900.0):
+        """Claim the advisory lease ``name``, or return ``None`` if held.
+
+        Acquisition is atomic (``os.link`` of a fully-written temp file —
+        there is never a visible-but-empty lease).  A lease whose age
+        exceeds its recorded TTL is *stolen*: exactly one claimant's
+        rename-away of the stale file succeeds, and that claimant then
+        re-competes for a fresh acquisition.  Callers must release
+        (``lease.release()``) when done; a killed holder's lease simply
+        expires.
+        """
+        lease_dir = self.root / self.LEASE_DIR
+        lease_dir.mkdir(parents=True, exist_ok=True)
+        path = lease_dir / f"{name}.lease"
+        token = f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex}"
+        temp = lease_dir / f".{token.rsplit(':', 1)[-1]}.tmp"
+        temp.write_text(f"{token}\t{time.time()}\t{float(ttl)}\n", encoding="utf-8")
+        try:
+            while True:
+                try:
+                    os.link(temp, path)
+                    return Lease(path=path, token=token)
+                except FileExistsError:
+                    pass
+                if not self._lease_expired(path, ttl):
+                    return None
+                # Stale: rename the corpse away — one stealer wins the
+                # rename, everyone else sees ENOENT and loops to re-compete
+                # for the now-free name.
+                corpse = lease_dir / f".{uuid.uuid4().hex}.steal"
+                try:
+                    os.replace(path, corpse)
+                except OSError:
+                    continue
+                try:
+                    corpse.unlink()
+                except OSError:
+                    pass
+        finally:
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _lease_expired(path, fallback_ttl):
+        """Whether the lease at ``path`` has outlived its TTL (or is gone)."""
+        try:
+            content = path.read_text(encoding="utf-8")
+            parts = content.rstrip("\n").split("\t")
+            acquired_at, ttl = float(parts[1]), float(parts[2])
+        except (OSError, IndexError, ValueError):
+            # Unreadable/garbled lease: age it by mtime under our TTL.
+            try:
+                acquired_at, ttl = path.stat().st_mtime, float(fallback_ttl)
+            except OSError:
+                return True  # vanished — free to re-compete
+        return time.time() > acquired_at + ttl

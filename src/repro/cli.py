@@ -138,12 +138,13 @@ def build_parser():
         "--resume",
         action="store_true",
         help="reuse completed results from the store (the default behavior; "
-        "the flag documents intent in scripts)",
+        "the flag documents intent in scripts; excludes --fresh)",
     )
     arena.add_argument(
         "--fresh",
         action="store_true",
-        help="clear the store before running (re-executes everything)",
+        help="clear the store before running (re-executes everything; "
+        "excludes --resume)",
     )
     return parser
 
@@ -277,6 +278,12 @@ def _arena(session, args):
     from repro.api.specs import ThreatModel
     from repro.arena import ResultStore, ScenarioGrid, render_arena_matrices
 
+    if args.fresh and args.resume:
+        raise SystemExit(
+            "error: --fresh and --resume are mutually exclusive "
+            "(--fresh clears the store before running, --resume reuses "
+            "its completed results)"
+        )
     # Parse threat tokens up front so a typo surfaces as a clean one-line
     # error instead of a traceback out of the grid constructor.
     try:

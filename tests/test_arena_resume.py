@@ -120,6 +120,32 @@ class TestResume:
                 replace_grid(defenses=("jacard",)), tmp_path / "s", config=CONFIG
             )
 
+    def test_truncated_record_quarantined_and_reexecuted(
+        self, cold, shared_cases
+    ):
+        """A record torn mid-store is a cache miss, not a dead sweep.
+
+        Truncate one stored record (simulating a writer killed between
+        the data write and its durability), resume, and require: the
+        sweep completes, exactly that one victim re-executes, the bad
+        file is quarantined as ``*.corrupt``, and the matrix stays
+        byte-identical to the uninterrupted reference.
+        """
+        store, reference, text = cold
+        key = sorted(store.keys())[0]
+        path = store.path(key)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        resumed = run_arena(GRID, store, config=CONFIG, cases=shared_cases)
+        assert resumed.executed == 1
+        assert resumed.loaded == reference.executed - 1
+        assert render_arena_matrices(resumed) == text
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists()
+        # The re-executed record landed byte-identical to the original.
+        assert store.path(key).read_bytes() == data
+        corrupt.unlink()  # leave the store whole for sibling tests
+
     def test_progress_reports_cache_state(self, cold, shared_cases):
         store, reference, _ = cold
         lines = []

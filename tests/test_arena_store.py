@@ -223,6 +223,198 @@ class TestResultStore:
         assert store.keys() == []
 
 
+class TestManifest:
+    """The v2 append-only manifest: index, migration, crash tolerance."""
+
+    def test_one_fsynced_line_per_record(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(5)]
+        for key in keys:
+            store.put(key, {"i": key})
+        manifest = (store.root / "MANIFEST").read_text().splitlines()
+        assert len(manifest) == 5
+        for line in manifest:
+            tag, key, relpath, length, digest = line.split("\t")
+            assert tag == "v2"
+            assert key in keys
+            assert relpath == f"{key[:2]}/{key}.json"
+            data = (store.root / relpath).read_bytes()
+            assert int(length) == len(data)
+            import hashlib
+
+            assert digest == hashlib.sha256(data).hexdigest()
+
+    def test_warm_reopen_serves_from_manifest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(8)]
+        for key in keys:
+            store.put(key, {"i": key})
+        warm = ResultStore(store.root)
+        assert len(warm) == 8
+        assert sorted(warm.keys()) == sorted(keys)
+        assert all(key in warm for key in keys)
+        assert warm.get(keys[3]) == {"i": keys[3]}
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        """A manifest-less (v1) record tree rebuilds its manifest on open."""
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(6)]
+        for key in keys:
+            store.put(key, {"i": key})
+        (store.root / "MANIFEST").unlink()
+        migrated = ResultStore(store.root)
+        assert sorted(migrated.keys()) == sorted(keys)
+        assert (store.root / "MANIFEST").is_file()
+        # The records themselves were never rewritten.
+        for key in keys:
+            assert migrated.get(key) == {"i": key}
+
+    def test_torn_manifest_tail_is_ignored(self, tmp_path):
+        """A writer killed mid-append leaves a partial last line: skip it."""
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(4)]
+        for key in keys:
+            store.put(key, {"i": key})
+        manifest = store.root / "MANIFEST"
+        with open(manifest, "a", encoding="utf-8") as handle:
+            handle.write("v2\tdeadbeef")  # no newline: torn mid-write
+        warm = ResultStore(store.root)
+        assert sorted(warm.keys()) == sorted(keys)
+
+    def test_record_without_manifest_line_still_readable(self, tmp_path):
+        """Crash between record write and manifest append: get still hits."""
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"unindexed": 1})
+        store.put(key, {"v": 1})
+        # Simulate the crash window by dropping the manifest line only.
+        (store.root / "MANIFEST").write_text("")
+        warm = ResultStore(store.root)
+        assert len(warm) == 0  # invisible to the index...
+        assert key in warm  # ...but found by the path probe
+        assert warm.get(key) == {"v": 1}
+        # Compaction adopts it back into the manifest.
+        assert warm.compact() == 1
+        assert warm.keys() == [key]
+
+    def test_compact_folds_duplicates_and_tombstones(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"dup": 1})
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 1})
+        other = content_key({"dup": 2})
+        store.put(other, {"v": 2})
+        store.path(other).write_bytes(b"{torn")
+        assert store.get(other) is None  # quarantined → tombstone line
+        lines = (store.root / "MANIFEST").read_text().splitlines()
+        assert len(lines) == 4  # 2 puts + 1 put + 1 drop
+        assert store.compact() == 1
+        assert (store.root / "MANIFEST").read_text().count("\n") == 1
+        assert store.keys() == [key]
+
+
+class TestCorruptRecords:
+    """Unreadable records are cache misses, quarantined — never crashes."""
+
+    def test_truncated_record_is_a_miss_and_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"x": 1})
+        store.put(key, {"result": {"deep": [1, 2, 3]}})
+        path = store.path(key)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert store.get(key) is None
+        assert not path.exists()
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists()
+        assert key not in store.keys()
+        # The store heals on re-put.
+        store.put(key, {"result": {"deep": [1, 2, 3]}})
+        assert store.get(key) == {"result": {"deep": [1, 2, 3]}}
+
+    def test_checksum_mismatch_is_a_miss(self, tmp_path):
+        """Valid JSON with the wrong bytes (disk rot) fails the manifest."""
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"x": 2})
+        store.put(key, {"v": 1})
+        store.path(key).write_text('{"v":2}')
+        assert store.get(key) is None
+        assert store.path(key).with_name(
+            store.path(key).name + ".corrupt"
+        ).exists()
+
+    def test_quarantine_survives_reopen(self, tmp_path):
+        """The drop tombstone keeps a reloaded index from resurrecting it."""
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"x": 3})
+        store.put(key, {"v": 1})
+        store.path(key).write_bytes(b"\xff\xfe garbage")
+        assert store.get(key) is None
+        warm = ResultStore(store.root)
+        assert key not in warm.keys()
+        assert warm.get(key) is None
+
+    def test_clear_sweeps_quarantined_files(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = content_key({"x": 4})
+        store.put(key, {"v": 1})
+        store.path(key).write_bytes(b"{")
+        assert store.get(key) is None
+        store.clear()
+        assert list(store.root.iterdir()) == []
+
+
+class TestNoDirectoryWalks:
+    """Warm-store lookups run off the manifest index, not directory scans."""
+
+    @staticmethod
+    def _counting(monkeypatch):
+        import os as os_module
+
+        calls = {"n": 0}
+        real_scandir, real_listdir = os_module.scandir, os_module.listdir
+
+        def scandir(*args, **kwargs):
+            calls["n"] += 1
+            return real_scandir(*args, **kwargs)
+
+        def listdir(*args, **kwargs):
+            calls["n"] += 1
+            return real_listdir(*args, **kwargs)
+
+        monkeypatch.setattr(os_module, "scandir", scandir)
+        monkeypatch.setattr(os_module, "listdir", listdir)
+        return calls
+
+    def test_len_keys_contains_get_never_scan(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(16)]
+        for key in keys:
+            store.put(key, {"i": key})
+        warm = ResultStore(store.root)
+        assert len(warm) == 16  # loads the index (a file read, no walk)
+        calls = self._counting(monkeypatch)
+        assert len(warm) == 16
+        assert sorted(warm.keys()) == sorted(keys)
+        assert all(key in warm for key in keys)
+        assert warm.get(keys[0]) == {"i": keys[0]}
+        assert calls["n"] == 0
+
+    def test_clear_is_one_sweep_not_two_walks(self, tmp_path, monkeypatch):
+        """v1 cleared via keys()-walk + per-key unlink + a second glob walk;
+        v2 unlinks straight from the index and sweeps the tree once."""
+        store = ResultStore(tmp_path / "store")
+        keys = [content_key({"i": i}) for i in range(16)]
+        for key in keys:
+            store.put(key, {"i": key})
+        shards = sum(1 for entry in store.root.iterdir() if entry.is_dir())
+        calls = self._counting(monkeypatch)
+        store.clear()
+        # One listing of the root plus one per shard directory — bounded
+        # by the tree's directory count, never by the record count twice.
+        assert calls["n"] <= shards + 1
+        assert len(store) == 0
+
+
 class TestCanonicalKeys:
     def test_content_key_ignores_dict_order(self):
         assert content_key({"a": 1, "b": [2.5, 3]}) == content_key(

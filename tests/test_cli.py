@@ -97,6 +97,27 @@ class TestParser:
         # Nothing ran: the store directory was never created.
         assert not (tmp_path / "store").exists()
 
+    def test_arena_fresh_and_resume_are_mutually_exclusive(self, tmp_path):
+        """--fresh (clear first) contradicts --resume (reuse results): a
+        combined invocation must die with a one-line error before it can
+        silently clear the store it was asked to resume."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "arena",
+                    "--fresh",
+                    "--resume",
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+        message = str(excinfo.value)
+        assert message.startswith("error: ")
+        assert "--fresh" in message and "--resume" in message
+        assert "mutually exclusive" in message
+        # The store was neither created nor cleared.
+        assert not (tmp_path / "store").exists()
+
 
 class TestExecution:
     def test_table3_runs(self, capsys):

@@ -1,0 +1,148 @@
+"""v1-store migration: old layouts resume untouched through the v2 store.
+
+``tests/data/v1_store`` is a committed store produced by the pre-manifest
+``ResultStore`` (shard dirs only — no MANIFEST, no lease dir).  The v2
+store must adopt it transparently: first index access rebuilds the
+manifest from the shard tree, a resume executes zero attacks, and every
+record — and the rendered matrix — stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.arena import (
+    ResultStore,
+    ScenarioGrid,
+    render_arena_matrices,
+    run_arena,
+)
+from repro.experiments import SCALE_PRESETS
+
+FIXTURE = Path(__file__).parent / "data" / "v1_store"
+
+#: Must match the exact configuration the fixture was generated with.
+CONFIG = replace(
+    SCALE_PRESETS["smoke"],
+    epochs=60,
+    num_victims=3,
+    margin_group=1,
+    explainer_epochs=20,
+    geattack_inner_steps=2,
+)
+
+GRID = ScenarioGrid(
+    attacks=("FGA-T", "DICE"),
+    defenses=("none", "jaccard"),
+    budget_caps=(2,),
+    seeds=(0,),
+)
+
+
+@pytest.fixture(scope="module")
+def shared_cases():
+    return {}
+
+
+@pytest.fixture(scope="module")
+def cold(tmp_path_factory, shared_cases):
+    """A fresh cold run: the byte-level reference the fixture must match."""
+    store = ResultStore(tmp_path_factory.mktemp("migration") / "cold")
+    run = run_arena(GRID, store, config=CONFIG, cases=shared_cases)
+    return store, run, render_arena_matrices(run)
+
+
+@pytest.fixture()
+def v1_store(tmp_path):
+    """A scratch copy of the committed v1 fixture (never mutate the repo)."""
+    root = tmp_path / "v1"
+    shutil.copytree(FIXTURE, root)
+    return root
+
+
+def test_fixture_is_a_pure_v1_layout():
+    """The committed fixture must stay manifest-free, or this suite tests
+    nothing — regenerate it with v2 artifacts stripped if it ever churns."""
+    assert FIXTURE.is_dir()
+    assert not (FIXTURE / ResultStore.MANIFEST_NAME).exists()
+    assert not (FIXTURE / ResultStore.LEASE_DIR).exists()
+    records = list(FIXTURE.rglob("*.json"))
+    assert records, "fixture has no records"
+    assert all(p.parent.name == p.name[:2] for p in records)
+
+
+def test_v1_store_resumes_with_zero_executed(cold, shared_cases, v1_store):
+    _, reference, text = cold
+    run = run_arena(
+        GRID, ResultStore(v1_store), config=CONFIG, cases=shared_cases
+    )
+    assert run.executed == 0
+    assert run.loaded == reference.executed
+    assert "executed 0 attacks" in run.stats_line()
+    assert render_arena_matrices(run) == text
+
+
+def test_migration_builds_manifest_and_keeps_records_untouched(
+    cold, v1_store
+):
+    cold_store, reference, _ = cold
+    before = {
+        p.relative_to(v1_store): p.read_bytes()
+        for p in v1_store.rglob("*.json")
+    }
+    store = ResultStore(v1_store)
+    # Index access (len here) triggers the in-place rebuild.
+    assert len(store) == reference.executed
+    manifest = v1_store / ResultStore.MANIFEST_NAME
+    assert manifest.is_file()
+    assert len(manifest.read_text().splitlines()) == reference.executed
+    after = {
+        p.relative_to(v1_store): p.read_bytes()
+        for p in v1_store.rglob("*.json")
+    }
+    assert after == before  # migration never rewrites records
+    # ...and they are the same records a fresh v2 run produces.
+    assert sorted(store.keys()) == sorted(cold_store.keys())
+    # The fixture was generated on the dense backend; the sparse kernels
+    # agree on edge sets/ASR but wobble score-trace floats at the last
+    # ulp, so byte-equality against a fresh run only holds on dense.
+    byte_exact = os.environ.get("REPRO_BACKEND", "dense") == "dense"
+    for key in store.keys():
+        mine = store.path(key).read_bytes()
+        cold_bytes = cold_store.path(key).read_bytes()
+        if byte_exact:
+            assert mine == cold_bytes
+        else:
+            payload, cold_payload = json.loads(mine), json.loads(cold_bytes)
+            assert payload["cell"] == cold_payload["cell"]
+            assert payload["victim"] == cold_payload["victim"]
+            assert (
+                payload["result"]["added_edges"]
+                == cold_payload["result"]["added_edges"]
+            )
+
+
+def test_migrated_store_is_a_full_v2_citizen(cold, shared_cases, v1_store):
+    """Post-migration stores support the whole v2 surface: O(1) reopen,
+    corruption quarantine, and further resumable writes."""
+    _, reference, text = cold
+    store = ResultStore(v1_store)
+    keys = store.keys()
+    # Warm reopen reads the manifest, not the shard tree.
+    reopened = ResultStore(v1_store)
+    assert reopened.keys() == keys
+    # Kill one record; the resume heals it and still matches bytes.
+    victim_key = keys[0]
+    reopened.path(victim_key).unlink()
+    healed = run_arena(
+        GRID, ResultStore(v1_store), config=CONFIG, cases=shared_cases
+    )
+    assert healed.executed == 1
+    assert healed.loaded == reference.executed - 1
+    assert render_arena_matrices(healed) == text
