@@ -34,6 +34,7 @@ from repro.datasets import load_dataset, random_split
 from repro.explain import PGExplainer
 from repro.graph import normalize_adjacency, reset_graph_cache
 from repro.nn import GCN, train_node_classifier
+from repro.obs import metrics
 
 BENCH_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -103,9 +104,25 @@ def _bench_one(attack, graph, victims):
     serial_seconds = time.perf_counter() - start
 
     reset_graph_cache()
+    counters_before = metrics.snapshot()
     start = time.perf_counter()
     batched = attack.attack_many(graph, victims)
     batched_seconds = time.perf_counter() - start
+
+    # The batched run's telemetry (repro.obs counters): the graph-cache
+    # hit ratio is the locality engine's whole speedup story, and the
+    # backend dispatch counts pin which adjacency path actually ran.
+    delta = metrics.delta_since(counters_before)
+    hits = delta.get("graph_cache.hits", 0)
+    misses = delta.get("graph_cache.misses", 0)
+    counters = {
+        name: value
+        for name, value in sorted(delta.items())
+        if name.startswith(("graph_cache.", "backend.dispatch."))
+    }
+    counters["graph_cache.hit_ratio"] = (
+        round(hits / (hits + misses), 4) if hits + misses else None
+    )
 
     return {
         "num_victims": len(victims),
@@ -119,6 +136,7 @@ def _bench_one(attack, graph, victims):
             one.added_edges == many.added_edges
             for one, many in zip(serial, batched)
         ),
+        "counters": counters,
     }
 
 

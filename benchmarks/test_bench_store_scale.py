@@ -24,6 +24,7 @@ import time
 import pytest
 
 from repro.arena import ResultStore, content_key
+from repro.obs import metrics
 
 from conftest import active_scale
 
@@ -63,6 +64,7 @@ def _v1_walk_keys(root):
 
 def _run_store_benchmark(root, count):
     keys = [content_key({"bench": i}) for i in range(count)]
+    counters_before = metrics.snapshot()
     store = ResultStore(root)
 
     start = time.perf_counter()
@@ -108,6 +110,19 @@ def _run_store_benchmark(root, count):
         assert payload is not None
     read_seconds = time.perf_counter() - start
 
+    # The run's own telemetry (repro.obs counters): fsync volume and the
+    # read hit ratio put the throughput rows in context.
+    delta = metrics.delta_since(counters_before)
+    reads = delta.get("store.read_hits", 0) + delta.get("store.read_misses", 0)
+    counters = {
+        name: value
+        for name, value in sorted(delta.items())
+        if name.startswith("store.")
+    }
+    counters["store.read_hit_ratio"] = (
+        round(delta.get("store.read_hits", 0) / reads, 4) if reads else None
+    )
+
     return {
         "records": count,
         "durable_writes_per_second": round(DURABLE_SLICE / durable_seconds, 1),
@@ -118,6 +133,7 @@ def _run_store_benchmark(root, count):
         "resume_index_seconds": round(index_seconds, 4),
         "resume_v1_walk_seconds": round(walk_seconds, 4),
         "resume_speedup_vs_v1_walk": round(walk_seconds / index_seconds, 2),
+        "counters": counters,
     }
 
 

@@ -10,11 +10,16 @@ types (``ComparisonResult``, ``SweepPoint`` lists, ``ArenaRun``).
 
 Events are data, not control flow: skipping, filtering or ignoring them
 never changes what the session computes.
+
+Every event carries an optional ``span`` — the id of the tracer span that
+was open when it was emitted (``None`` with tracing off).  The field is
+out-of-band telemetry: it is excluded from equality so event streams
+compare identically with tracing on or off.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = [
     "CasePrepared",
@@ -39,6 +44,7 @@ class CasePrepared:
     hidden: int
     test_accuracy: float
     num_victims: int
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,7 @@ class MethodStarted:
     method: str
     dataset: str
     num_victims: int
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,7 @@ class VictimEvaluated:
     index: int
     total: int
     ranking: tuple | None = None
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,7 @@ class MethodEvaluated:
 
     method: str
     evaluation: object  # repro.experiments.MethodEvaluation
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,7 @@ class SweepPointEvaluated:
     kind: str
     value: float
     point: object  # repro.experiments.SweepPoint
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -93,6 +103,7 @@ class VictimAttacked:
     cell: object  # repro.arena.ScenarioCell
     victim: object  # repro.attacks.VictimSpec
     loaded: bool  # True: served from the store; False: executed now
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -106,6 +117,7 @@ class CellDeferred:
 
     cell: object  # repro.arena.ScenarioCell
     missing: int
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -115,6 +127,7 @@ class CellExecuted:
     cell: object  # repro.arena.ScenarioCell
     cached: int
     executed: int
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -122,6 +135,7 @@ class CellScored:
     """Arena: one (cell × defense) entry of the matrix evaluated."""
 
     evaluation: object  # repro.arena.CellEvaluation
+    span: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -129,3 +143,4 @@ class RunCompleted:
     """Terminal event: the experiment's aggregate result object."""
 
     result: object
+    span: str | None = field(default=None, compare=False)

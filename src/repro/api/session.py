@@ -95,6 +95,9 @@ from repro.metrics import (
     binary_auc,
     detection_report,
 )
+from repro.obs import metrics
+from repro.obs.manifest import build_manifest
+from repro.obs.tracer import get_tracer
 from repro.parallel import parallel_map
 
 __all__ = [
@@ -153,10 +156,11 @@ def iter_method_events(
         )
         ranking = None
         if result.added_edges:
-            explainer = explainer_factory(result.perturbed_graph)
-            explanation = explainer.explain_node(
-                result.perturbed_graph, victim.node
-            )
+            with metrics.time_phase("explainer_fitting"):
+                explainer = explainer_factory(result.perturbed_graph)
+                explanation = explainer.explain_node(
+                    result.perturbed_graph, victim.node
+                )
             full_ranking = explanation.ranking()
             if keep_ranking:
                 ranking = tuple(full_ranking)
@@ -180,37 +184,47 @@ def iter_method_events(
         result.perturbed_graph = None
         return result, report, row, ranking
 
-    yield MethodStarted(
-        method=attack.name,
-        dataset=getattr(case.graph, "name", ""),
-        num_victims=len(victims),
-    )
-    outcomes = parallel_map(evaluate_one, victims, jobs=jobs)
-    for index, (victim, (result, report, _, ranking)) in enumerate(
-        zip(victims, outcomes)
-    ):
-        yield VictimEvaluated(
+    tracer = get_tracer()
+    with tracer.span(
+        "method", method=attack.name, victims=len(victims)
+    ) as span:
+        yield MethodStarted(
             method=attack.name,
-            victim=victim,
-            result=result,
-            report=report,
-            index=index,
-            total=len(victims),
-            ranking=ranking,
+            dataset=getattr(case.graph, "name", ""),
+            num_victims=len(victims),
+            span=span.id,
         )
-    results = [result for result, _, _, _ in outcomes]
-    reports = [report for _, report, _, _ in outcomes]
-    per_victim = [row for _, _, row, _ in outcomes]
-    yield MethodEvaluated(
-        method=attack.name,
-        evaluation=MethodEvaluation(
+        outcomes = parallel_map(evaluate_one, victims, jobs=jobs)
+        # Per-item ``unit`` span ids from the map just above (None with
+        # tracing off): each VictimEvaluated carries its own victim's span.
+        item_spans = tracer.pop_map_spans()
+        for index, (victim, (result, report, _, ranking)) in enumerate(
+            zip(victims, outcomes)
+        ):
+            yield VictimEvaluated(
+                method=attack.name,
+                victim=victim,
+                result=result,
+                report=report,
+                index=index,
+                total=len(victims),
+                ranking=ranking,
+                span=item_spans[index] if item_spans else span.id,
+            )
+        results = [result for result, _, _, _ in outcomes]
+        reports = [report for _, report, _, _ in outcomes]
+        per_victim = [row for _, _, row, _ in outcomes]
+        yield MethodEvaluated(
             method=attack.name,
-            asr=attack_success_rate(results),
-            asr_t=attack_success_rate_targeted(results),
-            per_victim=per_victim,
-            **summarize_reports(reports),
-        ),
-    )
+            evaluation=MethodEvaluation(
+                method=attack.name,
+                asr=attack_success_rate(results),
+                asr_t=attack_success_rate_targeted(results),
+                per_victim=per_victim,
+                **summarize_reports(reports),
+            ),
+            span=span.id,
+        )
 
 
 def evaluate_method(
@@ -546,46 +560,63 @@ class Session:
 
     def _iter_table(self, experiment):
         config = self.config
+        tracer = get_tracer()
+        started = time.perf_counter()
+        base = metrics.snapshot()
         wanted = set(experiment.methods or METHOD_ORDER)
         comparison = ComparisonResult(
             dataset=experiment.dataset, explainer=experiment.explainer
         )
-        for run_index in range(config.num_seeds):
-            case, victims = self.prepared(
-                experiment.dataset, seed=config.seed + 100 * run_index
-            )
-            yield CasePrepared(
-                dataset=experiment.dataset,
-                seed=case.seed,
-                hidden=config.hidden,
-                test_accuracy=case.test_accuracy,
-                num_victims=len(victims),
-            )
-            if not victims:
-                continue
-            pg = None
-            if experiment.explainer == "pg":
-                pg = self.pg_explainer(case)
-                factory = ExplainerSpec("pg").build(case, config, context=self)
-            else:
-                factory = ExplainerSpec("gnn").build(case, config)
-            evaluations = {}
-            for name in METHOD_ORDER:
-                if name not in wanted:
+        with tracer.span(
+            "table-run",
+            dataset=experiment.dataset,
+            explainer=experiment.explainer,
+        ) as root:
+            for run_index in range(config.num_seeds):
+                with tracer.span("case-prep", dataset=experiment.dataset):
+                    case, victims = self.prepared(
+                        experiment.dataset, seed=config.seed + 100 * run_index
+                    )
+                yield CasePrepared(
+                    dataset=experiment.dataset,
+                    seed=case.seed,
+                    hidden=config.hidden,
+                    test_accuracy=case.test_accuracy,
+                    num_victims=len(victims),
+                    span=root.id,
+                )
+                if not victims:
                     continue
-                attack = self._table_attack(name, case, pg)
-                evaluation = None
-                for event in iter_method_events(
-                    case, attack, victims, factory, jobs=self.jobs
-                ):
-                    if isinstance(event, MethodEvaluated):
-                        evaluation = event.evaluation
-                    yield event
-                if name == "FGA":
-                    evaluation.asr_t = float("nan")  # paper reports "-"
-                evaluations[attack.name] = evaluation
-            comparison.runs.append(evaluations)
-        yield RunCompleted(comparison)
+                pg = None
+                if experiment.explainer == "pg":
+                    pg = self.pg_explainer(case)
+                    factory = ExplainerSpec("pg").build(
+                        case, config, context=self
+                    )
+                else:
+                    factory = ExplainerSpec("gnn").build(case, config)
+                evaluations = {}
+                for name in METHOD_ORDER:
+                    if name not in wanted:
+                        continue
+                    attack = self._table_attack(name, case, pg)
+                    evaluation = None
+                    for event in iter_method_events(
+                        case, attack, victims, factory, jobs=self.jobs
+                    ):
+                        if isinstance(event, MethodEvaluated):
+                            evaluation = event.evaluation
+                        yield event
+                    if name == "FGA":
+                        evaluation.asr_t = float("nan")  # paper reports "-"
+                    evaluations[attack.name] = evaluation
+                comparison.runs.append(evaluations)
+        comparison.manifest = build_manifest(
+            wall_seconds=time.perf_counter() - started,
+            cells=[],
+            counters=metrics.delta_since(base),
+        )
+        yield RunCompleted(comparison, span=root.id)
 
     def _iter_sweep(self, experiment):
         case, victims = self.prepared(experiment.dataset)
@@ -631,28 +662,102 @@ class Session:
                 )
         run = ArenaRun(grid=grid, config=config)
 
-        # First pass: execute every cell whose lease we win immediately.
-        # A cell leased by another live run is deferred, not blocked on —
-        # with a single writer (the historical case) no lease is ever
-        # contested, so ordering and results are unchanged.
-        pending = []
-        for cell in grid.cells():
-            case, victims = self.prepared(
-                cell.dataset, seed=cell.seed, hidden=cell.hidden
+        tracer = get_tracer()
+        started = time.perf_counter()
+        base = metrics.snapshot()
+        cells = list(grid.cells())
+        cell_rows = {}
+
+        def account(cell, seconds, outcome):
+            """Fold one attempt into the manifest's per-cell rows."""
+            row = cell_rows.setdefault(
+                cell.label(),
+                {"label": cell.label(), "seconds": 0.0, "cached": 0,
+                 "executed": 0},
             )
-            specs = [
-                VictimSpec(
-                    node=victim.node,
-                    target_label=victim.target_label,
-                    budget=min(victim.budget, cell.budget_cap),
+            row["seconds"] += seconds
+            completed, cached, executed = outcome
+            if completed:
+                row["cached"] += cached
+                row["executed"] += executed
+
+        with tracer.span(
+            "arena-run", cells=len(cells), defenses=len(grid.defenses)
+        ) as root:
+            # First pass: execute every cell whose lease we win immediately.
+            # A cell leased by another live run is deferred, not blocked on —
+            # with a single writer (the historical case) no lease is ever
+            # contested, so ordering and results are unchanged.
+            prep = {}
+            pending = []
+            for cell in cells:
+                attempt_started = time.perf_counter()
+                outcome = yield from self._attempt_cell(
+                    run, grid, store, experiment, cell, prep, first=True
                 )
-                for victim in victims
-            ]
-            cfg = cell_config(cell, config)
-            keys = [victim_key(cfg, spec) for spec in specs]
+                account(cell, time.perf_counter() - attempt_started, outcome)
+                if not outcome[0]:
+                    pending.append(cell)
+
+            # Re-poll deferred cells until their foreign writers commit (or
+            # die: an expired lease is stolen and the leftovers executed
+            # here).
+            while pending:
+                still_pending = []
+                for cell in pending:
+                    attempt_started = time.perf_counter()
+                    outcome = yield from self._attempt_cell(
+                        run, grid, store, experiment, cell, prep, first=False
+                    )
+                    account(
+                        cell, time.perf_counter() - attempt_started, outcome
+                    )
+                    if not outcome[0]:
+                        still_pending.append(cell)
+                pending = still_pending
+                if pending:
+                    with tracer.span("lease-wait", pending=len(pending)):
+                        time.sleep(experiment.poll_interval)
+        run.manifest = build_manifest(
+            wall_seconds=time.perf_counter() - started,
+            cells=list(cell_rows.values()),
+            counters=metrics.delta_since(base),
+        )
+        yield RunCompleted(run, span=root.id)
+
+    def _attempt_cell(self, run, grid, store, experiment, cell, prep, first):
+        """One leased attempt at an arena cell (an event generator).
+
+        Returns ``(completed, cached, executed)`` through the generator
+        protocol (``yield from`` captures it).  ``prep`` memoizes the
+        cell's prepared case/specs/keys across re-poll attempts; the
+        ``CellDeferred`` event and the deferral counters fire only on the
+        ``first`` attempt (re-polls are silent until the cell completes).
+        """
+        tracer = get_tracer()
+        with tracer.span("cell", cell=cell.label()) as span:
+            entry = prep.get(id(cell))
+            if entry is None:
+                with tracer.span("case-prep", dataset=cell.dataset):
+                    case, victims = self.prepared(
+                        cell.dataset, seed=cell.seed, hidden=cell.hidden
+                    )
+                specs = [
+                    VictimSpec(
+                        node=victim.node,
+                        target_label=victim.target_label,
+                        budget=min(victim.budget, cell.budget_cap),
+                    )
+                    for victim in victims
+                ]
+                cfg = cell_config(cell, self.config)
+                keys = [victim_key(cfg, spec) for spec in specs]
+                entry = prep[id(cell)] = (case, specs, cfg, keys)
+            case, specs, cfg, keys = entry
             # Read *through* the store up front: a missing, torn or
             # quarantined record is simply a miss to re-execute.
-            payloads = {key: store.get(key) for key in keys}
+            with tracer.span("store-read", records=len(keys)):
+                payloads = {key: store.get(key) for key in keys}
             missing = [
                 (spec, key)
                 for spec, key in zip(specs, keys)
@@ -664,56 +769,32 @@ class Session:
                     content_key(cfg), ttl=experiment.lease_ttl
                 )
                 if lease is None:
-                    run.deferred += 1
-                    yield CellDeferred(cell=cell, missing=len(missing))
-                    pending.append((cell, case, specs, cfg, keys))
-                    continue
+                    span.set(
+                        deferred=True,
+                        cached=len(specs) - len(missing),
+                        executed=0,
+                    )
+                    if first:
+                        run.deferred += 1
+                        metrics.incr("arena.cells_deferred")
+                        yield CellDeferred(
+                            cell=cell, missing=len(missing), span=span.id
+                        )
+                    return (False, 0, 0)
                 try:
                     executed_keys = self._execute_missing(
                         run, store, cell, case, cfg, missing
                     )
                 finally:
                     lease.release()
-            run.loaded += len(specs) - len(executed_keys)
+            cached = len(specs) - len(executed_keys)
+            span.set(cached=cached, executed=len(executed_keys))
+            run.loaded += cached
             yield from self._finish_cell(
                 run, grid, store, cell, case, specs, keys, executed_keys,
                 payloads,
             )
-
-        # Re-poll deferred cells until their foreign writers commit (or
-        # die: an expired lease is stolen and the leftovers executed here).
-        while pending:
-            still_pending = []
-            for cell, case, specs, cfg, keys in pending:
-                payloads = {key: store.get(key) for key in keys}
-                missing = [
-                    (spec, key)
-                    for spec, key in zip(specs, keys)
-                    if payloads[key] is None
-                ]
-                executed_keys = frozenset()
-                if missing:
-                    lease = store.try_lease(
-                        content_key(cfg), ttl=experiment.lease_ttl
-                    )
-                    if lease is None:
-                        still_pending.append((cell, case, specs, cfg, keys))
-                        continue
-                    try:
-                        executed_keys = self._execute_missing(
-                            run, store, cell, case, cfg, missing
-                        )
-                    finally:
-                        lease.release()
-                run.loaded += len(specs) - len(executed_keys)
-                yield from self._finish_cell(
-                    run, grid, store, cell, case, specs, keys, executed_keys,
-                    payloads,
-                )
-            pending = still_pending
-            if pending:
-                time.sleep(experiment.poll_interval)
-        yield RunCompleted(run)
+            return (True, cached, len(executed_keys))
 
     def _execute_missing(self, run, store, cell, case, cfg, missing):
         """Attack a cell's missing victims under a held lease; store results.
@@ -762,14 +843,18 @@ class Session:
         self, run, grid, store, cell, case, specs, keys, executed_keys, payloads
     ):
         """Emit a completed cell's events and score every defense on it."""
+        tracer = get_tracer()
+        span = tracer.current_id()
         for spec, key in zip(specs, keys):
             yield VictimAttacked(
-                cell=cell, victim=spec, loaded=key not in executed_keys
+                cell=cell, victim=spec, loaded=key not in executed_keys,
+                span=span,
             )
         yield CellExecuted(
             cell=cell,
             cached=len(specs) - len(executed_keys),
             executed=len(executed_keys),
+            span=span,
         )
         # Always evaluate through the store: serialize → deserialize →
         # rebuild, so warm and cold runs see bit-identical inputs.  Keys
@@ -789,11 +874,12 @@ class Session:
                 AttackResult.from_dict(payload["result"], graph=case.graph)
             )
         for defense_name in grid.defenses:
-            evaluation = self._score_defense(
-                cell, defense_name, case, specs, results
-            )
+            with tracer.span("defense", defense=defense_name):
+                evaluation = self._score_defense(
+                    cell, defense_name, case, specs, results
+                )
             run.evaluations.append(evaluation)
-            yield CellScored(evaluation)
+            yield CellScored(evaluation, span=span)
 
     def _attacker_defense(self, threat, case, cell):
         """The adaptive attacker's simulation of its adapted defense.
@@ -846,15 +932,21 @@ class Session:
 
         def evaluate_one(item):
             spec, result = item
-            defended = defense.predict(result.perturbed_graph, spec.node)
-            return (
-                bool(defended != result.original_prediction),
-                float(defense.flag(result.perturbed_graph, spec.node)),
-                float(defense.flag(case.graph, spec.node)),
-                bool(result.misclassified),
-            )
+            with metrics.time_phase("defense_eval"):
+                defended = defense.predict(result.perturbed_graph, spec.node)
+                return (
+                    bool(defended != result.original_prediction),
+                    float(defense.flag(result.perturbed_graph, spec.node)),
+                    float(defense.flag(case.graph, spec.node)),
+                    bool(result.misclassified),
+                )
 
-        rows = parallel_map(evaluate_one, list(zip(specs, results)), jobs=self.jobs)
+        rows = parallel_map(
+            evaluate_one,
+            list(zip(specs, results)),
+            jobs=self.jobs,
+            describe=lambda item: f"victim {item[0].node}",
+        )
         evaded = [row[0] for row in rows]
         attacked_flags = [row[1] for row in rows]
         clean_flags = [row[2] for row in rows]

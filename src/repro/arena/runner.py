@@ -50,6 +50,10 @@ class ArenaRun:
     #: results were later loaded, stolen-and-executed, or both).
     deferred: int = 0
     evaluations: list = field(default_factory=list)
+    #: :class:`repro.obs.RunManifest` telemetry summary (wall-clock,
+    #: per-cell timing, counter deltas).  Out-of-band: excluded from
+    #: equality, never stored, never rendered into the matrix.
+    manifest: object = field(default=None, compare=False, repr=False)
 
     def stats_line(self):
         """The resume contract, in greppable form (CI asserts on it)."""

@@ -47,6 +47,7 @@ from hashlib import sha256
 from pathlib import Path
 
 from repro.arena.grid import canonical_json
+from repro.obs import metrics
 
 __all__ = ["Lease", "ResultStore"]
 
@@ -95,7 +96,6 @@ class ResultStore:
         self._bulk_depth = 0
         self._pending_lines = []
         self._pending_dirs = set()
-        self._corruption_logged = False
 
     def path(self, key):
         """Where a record with this content key lives."""
@@ -198,6 +198,7 @@ class ResultStore:
         try:
             os.write(fd, "".join(lines).encode("utf-8"))
             if durable:
+                metrics.incr("store.fsyncs")
                 os.fsync(fd)
         finally:
             os.close(fd)
@@ -229,23 +230,33 @@ class ResultStore:
         post-mortems), the key drops out of the index, and the caller
         re-executes that victim.
         """
+        metrics.incr("store.reads")
         path = self.path(key)
-        try:
-            data = path.read_bytes()
-        except FileNotFoundError:
-            self._drop(key)
-            return None
-        except OSError as error:
-            return self._quarantine(key, path, f"unreadable ({error})")
-        entry = self._index.get(key)
-        if entry is not None:
-            _, length, digest = entry
-            if length != len(data) or digest != sha256(data).hexdigest():
-                return self._quarantine(key, path, "manifest checksum mismatch")
-        try:
-            return json.loads(data.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            return self._quarantine(key, path, "unparseable JSON")
+        with metrics.time_phase("store_io"):
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                self._drop(key)
+                metrics.incr("store.read_misses")
+                return None
+            except OSError as error:
+                metrics.incr("store.read_misses")
+                return self._quarantine(key, path, f"unreadable ({error})")
+            entry = self._index.get(key)
+            if entry is not None:
+                _, length, digest = entry
+                if length != len(data) or digest != sha256(data).hexdigest():
+                    metrics.incr("store.read_misses")
+                    return self._quarantine(
+                        key, path, "manifest checksum mismatch"
+                    )
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                metrics.incr("store.read_misses")
+                return self._quarantine(key, path, "unparseable JSON")
+        metrics.incr("store.read_hits")
+        return payload
 
     def keys(self):
         """All manifest-indexed content keys, in key order."""
@@ -260,19 +271,27 @@ class ResultStore:
 
     def _quarantine(self, key, path, reason):
         target = path.with_name(path.name + ".corrupt")
+        won_rename = True
         try:
             os.replace(path, target)
         except OSError:
+            won_rename = False
             target = None
         self._drop(key)
+        metrics.incr("store.quarantined")
         message = (
             "quarantined corrupt arena record %s (%s)%s; "
             "treating it as a cache miss — the victim will re-execute"
         )
         where = f" -> {target.name}" if target is not None else ""
-        if not self._corruption_logged:
+        # Warn exactly once per corrupt record per *run*, not per process:
+        # under forked multi-writer runs every worker holds its own store
+        # instance, so an instance flag would warn once per worker.  The
+        # ``*.corrupt`` file is the store-level marker — exactly one
+        # process wins the rename that creates it (the losers find the
+        # source already gone) and that winner owns the warning.
+        if won_rename:
             logger.warning(message, key[:12], reason, where)
-            self._corruption_logged = True
         else:
             logger.debug(message, key[:12], reason, where)
         return None
@@ -290,42 +309,45 @@ class ResultStore:
         there, and ``get`` falls back to the path itself for the
         crash window between the two steps.
         """
+        metrics.incr("store.writes")
         path = self.path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        data = canonical_json(payload)
-        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            temp.write_text(data, encoding="utf-8")
-            if not self._bulk_depth:
-                # Flush the temp file to disk before the rename becomes
-                # visible: os.replace is only atomic with respect to the
-                # *name*, not the data, so without the fsync a crash could
-                # publish an empty file.  (Bulk mode skips this — the
-                # manifest checksum catches a torn record on read, which
-                # then simply re-executes.)
-                descriptor = os.open(temp, os.O_RDONLY)
-                try:
-                    os.fsync(descriptor)
-                finally:
-                    os.close(descriptor)
-            os.replace(temp, path)
-        except BaseException:
+        with metrics.time_phase("store_io"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            data = canonical_json(payload)
+            temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
             try:
-                temp.unlink()
-            except OSError:
-                pass
-            raise
-        encoded = data.encode("utf-8")
-        relpath = f"{key[:2]}/{path.name}"
-        digest = sha256(encoded).hexdigest()
-        line = self._manifest_line(key, relpath, len(encoded), digest)
-        if self._bulk_depth:
-            self._pending_lines.append(line)
-            self._pending_dirs.add(path.parent)
-        else:
-            self._sync_directory(path.parent)
-            self._append_manifest([line])
-        self._index[key] = (relpath, len(encoded), digest)
+                temp.write_text(data, encoding="utf-8")
+                if not self._bulk_depth:
+                    # Flush the temp file to disk before the rename becomes
+                    # visible: os.replace is only atomic with respect to the
+                    # *name*, not the data, so without the fsync a crash could
+                    # publish an empty file.  (Bulk mode skips this — the
+                    # manifest checksum catches a torn record on read, which
+                    # then simply re-executes.)
+                    descriptor = os.open(temp, os.O_RDONLY)
+                    try:
+                        metrics.incr("store.fsyncs")
+                        os.fsync(descriptor)
+                    finally:
+                        os.close(descriptor)
+                os.replace(temp, path)
+            except BaseException:
+                try:
+                    temp.unlink()
+                except OSError:
+                    pass
+                raise
+            encoded = data.encode("utf-8")
+            relpath = f"{key[:2]}/{path.name}"
+            digest = sha256(encoded).hexdigest()
+            line = self._manifest_line(key, relpath, len(encoded), digest)
+            if self._bulk_depth:
+                self._pending_lines.append(line)
+                self._pending_dirs.add(path.parent)
+            else:
+                self._sync_directory(path.parent)
+                self._append_manifest([line])
+            self._index[key] = (relpath, len(encoded), digest)
 
     @contextmanager
     def bulk(self):
@@ -348,11 +370,13 @@ class ResultStore:
                 self._flush_bulk()
 
     def _flush_bulk(self):
-        for directory in sorted(self._pending_dirs):
-            self._sync_directory(directory)
-        self._pending_dirs = set()
-        lines, self._pending_lines = self._pending_lines, []
-        self._append_manifest(lines)
+        metrics.incr("store.bulk_flushes")
+        with metrics.time_phase("store_io"):
+            for directory in sorted(self._pending_dirs):
+                self._sync_directory(directory)
+            self._pending_dirs = set()
+            lines, self._pending_lines = self._pending_lines, []
+            self._append_manifest(lines)
 
     @staticmethod
     def _sync_directory(directory):
@@ -362,6 +386,7 @@ class ResultStore:
         except OSError:
             return
         try:
+            metrics.incr("store.fsyncs")
             os.fsync(descriptor)
         except OSError:
             pass
@@ -427,10 +452,12 @@ class ResultStore:
             while True:
                 try:
                     os.link(temp, path)
+                    metrics.incr("lease.acquired")
                     return Lease(path=path, token=token)
                 except FileExistsError:
                     pass
                 if not self._lease_expired(path, ttl):
+                    metrics.incr("lease.busy")
                     return None
                 # Stale: rename the corpse away — one stealer wins the
                 # rename, everyone else sees ENOENT and loops to re-compete
@@ -440,6 +467,7 @@ class ResultStore:
                     os.replace(path, corpse)
                 except OSError:
                     continue
+                metrics.incr("lease.stolen")
                 try:
                     corpse.unlink()
                 except OSError:

@@ -24,6 +24,8 @@ from repro.graph.utils import (
     graph_cached,
     normalize_adjacency_tensor,
 )
+from repro.obs import metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "AttackResult",
@@ -460,21 +462,29 @@ class Attack:
                 max_subgraph_fraction=max_subgraph_fraction,
             )
 
-        return parallel_map(run_one, specs, jobs=jobs)
+        return parallel_map(
+            run_one, specs, jobs=jobs,
+            describe=lambda spec: f"victim {spec.node} ({self.name})",
+        )
 
     def attack_one(self, graph, victim, locality=True, max_subgraph_fraction=0.9):
         """Attack one victim, on its locality subgraph when possible."""
         spec = coerce_victim(victim)
-        scene = None
-        if locality and self.supports_locality:
-            scene = self.build_locality_scene(
-                graph, spec.node, spec.target_label, max_subgraph_fraction
+        with get_tracer().span(
+            "attack", attack=self.name, victim=spec.node
+        ), metrics.time_phase("attack_steps"):
+            scene = None
+            if locality and self.supports_locality:
+                scene = self.build_locality_scene(
+                    graph, spec.node, spec.target_label, max_subgraph_fraction
+                )
+            if scene is None:
+                return self.attack(
+                    graph, spec.node, spec.target_label, spec.budget
+                )
+            return self.attack(
+                graph, spec.node, spec.target_label, spec.budget, locality=scene
             )
-        if scene is None:
-            return self.attack(graph, spec.node, spec.target_label, spec.budget)
-        return self.attack(
-            graph, spec.node, spec.target_label, spec.budget, locality=scene
-        )
 
     def build_locality_scene(
         self, graph, target_node, target_label, max_subgraph_fraction=0.9

@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 
 from repro.autodiff.tensor import Tensor
+from repro.obs import metrics
 
 __all__ = ["Backend", "DenseBackend", "SparseBackend", "get_backend"]
 
@@ -52,6 +53,7 @@ class DenseBackend(Backend):
 
     def attack_adjacency(self, graph, victim, candidates):
         """Dense ``n × n`` adjacency leaf (victim/candidates unused)."""
+        metrics.incr("backend.dispatch.dense")
         return Tensor(graph.dense_adjacency(), requires_grad=True)
 
 
@@ -64,6 +66,7 @@ class SparseBackend(Backend):
     def attack_adjacency(self, graph, victim, candidates):
         from repro.autodiff.sparse_ops import SparseAttackAdjacency
 
+        metrics.incr("backend.dispatch.sparse")
         return SparseAttackAdjacency(graph, victim, candidates)
 
 

@@ -14,6 +14,13 @@ invocation.  Examples::
     python -m repro inspector-zoo --dataset cora
     python -m repro arena --store arena-store --resume
     python -m repro describe
+
+With ``REPRO_TRACE=1`` any run additionally writes a structured span
+trace (JSONL, ``REPRO_TRACE_PATH`` or ``repro_trace.jsonl``), inspected
+offline with::
+
+    python -m repro trace summarize repro_trace.jsonl
+    python -m repro trace validate repro_trace.jsonl
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.experiments import (
     format_table,
     preliminary_inspection_study,
 )
+from repro.obs.tracer import get_tracer
 
 __all__ = ["main", "build_parser"]
 
@@ -146,6 +154,28 @@ def build_parser():
         help="clear the store before running (re-executes everything; "
         "excludes --resume)",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a structured trace written by a REPRO_TRACE=1 run",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase / per-cell time breakdown with anomaly flags",
+    )
+    summarize.add_argument("path", help="trace JSONL file")
+    summarize.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit nonzero unless the run root's cell spans cover at "
+        "least PCT%% of its wall-clock (CI uses 95)",
+    )
+    validate = trace_sub.add_parser(
+        "validate", help="check every JSONL line against the span schema"
+    )
+    validate.add_argument("path", help="trace JSONL file")
     return parser
 
 
@@ -179,6 +209,11 @@ def _preliminary(session, case, factory, title):
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _trace(args)
+    # Materialize the tracer (REPRO_TRACE=1) in the parent before any
+    # process pool forks, so workers inherit the trace configuration.
+    get_tracer()
     config = SCALE_PRESETS[args.scale]
     session = Session(config=config, jobs=args.jobs)
 
@@ -270,6 +305,34 @@ def main(argv=None):
         print(describe_registries(config, as_json=args.json))
     elif args.command == "arena":
         _arena(session, args)
+    return 0
+
+
+def _trace(args):
+    """``repro trace summarize|validate`` — offline trace inspection."""
+    from repro.obs.schema import validate_trace
+    from repro.obs.summarize import render_summary, summarize_trace
+
+    if args.trace_command == "validate":
+        try:
+            records = validate_trace(args.path)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: {error}")
+        print(f"{args.path}: {len(records)} span record(s), schema-valid")
+        return 0
+    try:
+        summary = summarize_trace(args.path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    print(render_summary(summary))
+    if args.min_coverage is not None:
+        coverage = summary["coverage"]
+        if coverage is None or coverage * 100.0 < args.min_coverage:
+            have = "none" if coverage is None else f"{coverage:.1%}"
+            raise SystemExit(
+                f"error: cell-span coverage {have} below required "
+                f"{args.min_coverage:.1f}%"
+            )
     return 0
 
 

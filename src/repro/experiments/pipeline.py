@@ -30,6 +30,7 @@ from repro.metrics import (
     prediction_margin,
 )
 from repro.nn import GCN, train_node_classifier
+from repro.obs import metrics
 from repro.parallel import parallel_map
 
 __all__ = [
@@ -108,29 +109,30 @@ def prepare_case(dataset_name, config, seed=None, backend=None):
     scipy sparse path and is backend-independent.
     """
     seed = config.seed if seed is None else int(seed)
-    graph = load_dataset(dataset_name, scale=config.dataset_scale, seed=seed)
-    split = random_split(graph.num_nodes, seed=seed + 1)
-    rng = np.random.default_rng(seed + 2)
-    model = GCN(
-        graph.num_features, config.hidden, graph.num_classes, rng, config.dropout
-    )
-    normalized = normalize_adjacency(graph.adjacency)
-    result = train_node_classifier(
-        model,
-        normalized,
-        graph.features,
-        graph.labels,
-        split.train,
-        split.val,
-        split.test,
-        epochs=config.epochs,
-        lr=config.learning_rate,
-        weight_decay=config.weight_decay,
-    )
-    with no_grad():
-        logits = model(normalized, Tensor(graph.features))
-    exp = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
-    probabilities = exp / exp.sum(axis=1, keepdims=True)
+    with metrics.time_phase("case_prep"):
+        graph = load_dataset(dataset_name, scale=config.dataset_scale, seed=seed)
+        split = random_split(graph.num_nodes, seed=seed + 1)
+        rng = np.random.default_rng(seed + 2)
+        model = GCN(
+            graph.num_features, config.hidden, graph.num_classes, rng, config.dropout
+        )
+        normalized = normalize_adjacency(graph.adjacency)
+        result = train_node_classifier(
+            model,
+            normalized,
+            graph.features,
+            graph.labels,
+            split.train,
+            split.val,
+            split.test,
+            epochs=config.epochs,
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        with no_grad():
+            logits = model(normalized, Tensor(graph.features))
+        exp = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
     return PreparedCase(
         graph=graph,
         split=split,

@@ -41,6 +41,9 @@ class ComparisonResult:
     dataset: str
     explainer: str
     runs: list = field(default_factory=list)  # list of {method: MethodEvaluation}
+    #: :class:`repro.obs.RunManifest` telemetry summary for the producing
+    #: run (out-of-band: excluded from equality, never rendered).
+    manifest: object = field(default=None, compare=False, repr=False)
 
     def mean_std(self):
         """``{method: {metric: (mean, std)}}`` over the runs."""

@@ -216,6 +216,13 @@ def edges_to_mask_index(edges, node_to_local):
 _GRAPH_CACHE = weakref.WeakKeyDictionary()
 _CACHE_STATS = {"hits": 0, "misses": 0}
 
+# The observability layer reads these counters as ``graph_cache.hits`` /
+# ``graph_cache.misses`` — registered as a live external view so the hot
+# path below keeps its single-dict increment (no double counting).
+from repro.obs import metrics as _obs_metrics  # noqa: E402 (after stats exist)
+
+_obs_metrics.register_external("graph_cache", _CACHE_STATS)
+
 
 def graph_cached(graph, key, builder):
     """Memoize ``builder()`` against the (immutable) ``graph`` under ``key``.

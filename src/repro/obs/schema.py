@@ -1,0 +1,107 @@
+"""Span-record schema: the contract every JSONL trace line satisfies.
+
+Version 1 record::
+
+    {
+      "schema": 1,                  # record version
+      "span": "1.2.3",              # dotted hierarchical id
+      "parent": "1.2" | null,       # id of the enclosing span
+      "name": "cell",               # span kind
+      "start": 1699999999.5,        # wall-clock epoch seconds at entry
+      "seconds": 0.42,              # duration (monotonic clock)
+      "pid": 4242,                  # emitting process
+      "attrs": {"cell": "..."},     # JSON-scalar values only
+    }
+
+The ``tier1-traced`` CI step validates every line of the arena smoke's
+trace through :func:`validate_trace`; :mod:`repro.obs.summarize` runs
+the same check before rendering, so a malformed trace fails loudly in
+both places instead of producing a silently wrong breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = ["SCHEMA_VERSION", "validate_record", "validate_trace"]
+
+SCHEMA_VERSION = 1
+
+_SPAN_ID = re.compile(r"^[1-9][0-9]*(\.[1-9][0-9]*)*$")
+_REQUIRED = ("schema", "span", "parent", "name", "start", "seconds", "pid", "attrs")
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_record(record):
+    """Problems with one decoded span record (empty list = valid)."""
+    problems = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    for field in _REQUIRED:
+        if field not in record:
+            problems.append(f"missing field {field!r}")
+    extra = sorted(set(record) - set(_REQUIRED))
+    if extra:
+        problems.append(f"unknown field(s) {extra}")
+    if problems:
+        return problems
+    if record["schema"] != SCHEMA_VERSION:
+        problems.append(f"schema {record['schema']!r} != {SCHEMA_VERSION}")
+    span, parent = record["span"], record["parent"]
+    if not (isinstance(span, str) and _SPAN_ID.match(span)):
+        problems.append(f"bad span id {span!r}")
+    if parent is not None and not (
+        isinstance(parent, str) and _SPAN_ID.match(parent)
+    ):
+        problems.append(f"bad parent id {parent!r}")
+    if (
+        parent is not None
+        and isinstance(span, str)
+        and not span.startswith(f"{parent}.")
+    ):
+        problems.append(f"span {span!r} is not a child of parent {parent!r}")
+    if not (isinstance(record["name"], str) and record["name"]):
+        problems.append(f"bad name {record['name']!r}")
+    for field in ("start", "seconds"):
+        value = record[field]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"non-numeric {field} {value!r}")
+    if isinstance(record["seconds"], (int, float)) and record["seconds"] < 0:
+        problems.append(f"negative duration {record['seconds']!r}")
+    if not isinstance(record["pid"], int) or isinstance(record["pid"], bool):
+        problems.append(f"non-integer pid {record['pid']!r}")
+    attrs = record["attrs"]
+    if not isinstance(attrs, dict):
+        problems.append(f"attrs is {type(attrs).__name__}, expected object")
+    else:
+        for key, value in attrs.items():
+            if not isinstance(key, str):
+                problems.append(f"non-string attr key {key!r}")
+            if not isinstance(value, _SCALARS):
+                problems.append(f"non-scalar attr {key!r}={value!r}")
+    return problems
+
+
+def validate_trace(path):
+    """Parse + validate every line of a JSONL trace; returns the records.
+
+    Raises :class:`ValueError` naming the first offending line — the
+    shape CI and the summarize CLI both want (fail loudly, with a
+    pointer, instead of a partial report).
+    """
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise ValueError(f"{path}:{number}: not JSON ({error})")
+            problems = validate_record(record)
+            if problems:
+                raise ValueError(f"{path}:{number}: {'; '.join(problems)}")
+            records.append(record)
+    return records

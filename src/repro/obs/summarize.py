@@ -1,0 +1,169 @@
+"""Trace analysis behind ``python -m repro trace summarize``.
+
+Reads one JSONL trace (validated against :mod:`repro.obs.schema` first),
+rebuilds the span tree from the ``parent`` links, and renders:
+
+* the run root and its wall-clock;
+* a per-name span aggregation (count, total seconds) — note nested
+  spans overlap by construction, so these are *inclusive* totals;
+* a per-cell table (seconds, cached/executed, share of the run) with
+  the cell-span **coverage**: the fraction of the root's wall-clock
+  accounted for by its cell spans (the acceptance bar is ≥95% — time
+  the arena spends outside any cell is invisible time);
+* anomalies: lease waits eating the run, deferred cells, and cells
+  whose store hit ratio collapses relative to the run's.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.schema import validate_trace
+
+__all__ = ["summarize_trace", "render_summary"]
+
+#: Lease waits above this share of the run's wall-clock get flagged.
+LEASE_WAIT_SHARE = 0.10
+#: A cell's hit ratio below this multiple of the run-wide ratio is a
+#: "cache hit-rate collapse" (only meaningful when the run is warm).
+COLLAPSE_FACTOR = 0.5
+WARM_RUN_RATIO = 0.5
+
+
+def summarize_trace(path):
+    """Validate + analyze a trace; returns the summary dict.
+
+    Keys: ``records`` (count), ``root`` (the run's root record or
+    ``None``), ``by_name`` (``{name: {"count", "seconds"}}``), ``cells``
+    (per-cell rows), ``coverage`` (cell-span fraction of the root, or
+    ``None`` when the trace has no root/cells), ``anomalies`` (list of
+    strings).
+    """
+    records = validate_trace(path)
+    by_name = defaultdict(lambda: {"count": 0, "seconds": 0.0})
+    for record in records:
+        entry = by_name[record["name"]]
+        entry["count"] += 1
+        entry["seconds"] += record["seconds"]
+
+    roots = [record for record in records if record["parent"] is None]
+    root = max(roots, key=lambda record: record["seconds"], default=None)
+
+    cells = []
+    lease_wait_seconds = 0.0
+    if root is not None:
+        grouped = defaultdict(
+            lambda: {"seconds": 0.0, "cached": 0, "executed": 0, "deferred": 0}
+        )
+        order = []
+        for record in records:
+            if record["parent"] != root["span"]:
+                continue
+            if record["name"] == "lease-wait":
+                lease_wait_seconds += record["seconds"]
+            if record["name"] != "cell":
+                continue
+            label = record["attrs"].get("cell", record["span"])
+            if label not in grouped:
+                order.append(label)
+            row = grouped[label]
+            row["seconds"] += record["seconds"]
+            row["cached"] += int(record["attrs"].get("cached", 0) or 0)
+            row["executed"] += int(record["attrs"].get("executed", 0) or 0)
+            row["deferred"] += bool(record["attrs"].get("deferred", False))
+        cells = [dict(grouped[label], label=label) for label in order]
+
+    coverage = None
+    if root is not None and cells and root["seconds"] > 0:
+        coverage = sum(row["seconds"] for row in cells) / root["seconds"]
+
+    anomalies = []
+    if root is not None and root["seconds"] > 0:
+        share = lease_wait_seconds / root["seconds"]
+        if share > LEASE_WAIT_SHARE:
+            anomalies.append(
+                f"lease waits account for {share:.1%} of the run "
+                f"({lease_wait_seconds:.2f}s) — another writer holds your cells"
+            )
+    for row in cells:
+        if row["deferred"]:
+            anomalies.append(
+                f"cell {row['label']} was deferred behind a foreign lease"
+            )
+    total_cached = sum(row["cached"] for row in cells)
+    total_victims = total_cached + sum(row["executed"] for row in cells)
+    if total_victims:
+        run_ratio = total_cached / total_victims
+        if run_ratio >= WARM_RUN_RATIO:
+            for row in cells:
+                victims = row["cached"] + row["executed"]
+                if not victims:
+                    continue
+                ratio = row["cached"] / victims
+                if ratio < COLLAPSE_FACTOR * run_ratio:
+                    anomalies.append(
+                        f"cell {row['label']} hit ratio {ratio:.0%} vs "
+                        f"{run_ratio:.0%} run-wide — cache hit-rate collapse "
+                        "(key drift, or a cleared/foreign store?)"
+                    )
+
+    return {
+        "records": len(records),
+        "root": root,
+        "by_name": {name: dict(entry) for name, entry in by_name.items()},
+        "cells": cells,
+        "coverage": coverage,
+        "anomalies": anomalies,
+    }
+
+
+def render_summary(summary):
+    """The summary dict as the CLI's text report."""
+    lines = [f"trace: {summary['records']} span record(s)"]
+    root = summary["root"]
+    if root is None:
+        lines.append("no root span found (trace cut short?)")
+        return "\n".join(lines)
+    lines.append(
+        f"run: {root['name']} — {root['seconds']:.2f}s wall-clock "
+        f"(span {root['span']}, pid {root['pid']})"
+    )
+
+    lines.append("")
+    lines.append("span totals by name (inclusive):")
+    by_name = summary["by_name"]
+    width = max(len(name) for name in by_name)
+    for name in sorted(by_name, key=lambda n: by_name[n]["seconds"], reverse=True):
+        entry = by_name[name]
+        lines.append(
+            f"  {name.ljust(width)}  {entry['seconds']:8.2f}s"
+            f"  x{entry['count']}"
+        )
+
+    cells = summary["cells"]
+    if cells:
+        lines.append("")
+        lines.append("per-cell breakdown:")
+        label_width = max(len(row["label"]) for row in cells)
+        for row in cells:
+            share = (
+                row["seconds"] / root["seconds"] if root["seconds"] > 0 else 0.0
+            )
+            lines.append(
+                f"  {row['label'].ljust(label_width)}  {row['seconds']:8.2f}s"
+                f"  {share:6.1%}  cached {row['cached']:4d}"
+                f"  executed {row['executed']:4d}"
+            )
+    if summary["coverage"] is not None:
+        lines.append(
+            f"cell-span coverage: {summary['coverage']:.1%} of run wall-clock"
+        )
+
+    lines.append("")
+    if summary["anomalies"]:
+        lines.append("anomalies:")
+        for anomaly in summary["anomalies"]:
+            lines.append(f"  ! {anomaly}")
+    else:
+        lines.append("anomalies: none")
+    return "\n".join(lines)

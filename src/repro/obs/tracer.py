@@ -1,0 +1,314 @@
+"""Nested spans written as one JSONL trace file per run (opt-in).
+
+Tracing is **off by default**: the process-global tracer is constructed
+from the environment on first use (``REPRO_TRACE=1`` enables it, with
+the trace path from ``REPRO_TRACE_PATH``, default ``repro_trace.jsonl``)
+and a disabled tracer's :meth:`Tracer.span` returns one shared no-op
+context manager — the hot path pays an attribute check, nothing more
+(the overhead guard in ``tests/test_obs.py`` holds this honest).
+
+Span identity is hierarchical and **deterministic across pool widths**:
+ids are dotted paths (``"1"``, ``"1.2"``, ``"1.2.3"``) assigned from
+per-span child counters.  :func:`repro.parallel.parallel_map` reserves
+its items' span ids *before* forking (one counter bump per item, in
+input order), each forked worker opens its items' spans under those
+reserved ids and appends records to a per-pid segment file
+(``<trace>.<pid>.seg``, each record tagged with its item index), and the
+parent merges the segments back in input order once the pool drains.
+``jobs=1`` therefore produces the same spans, ids, parents and order as
+``jobs=N`` — only timings and pids differ.
+
+Records are one JSON object per line (see :mod:`repro.obs.schema`)::
+
+    {"schema": 1, "span": "1.2", "parent": "1", "name": "cell",
+     "start": 1699.5, "seconds": 0.42, "pid": 4242, "attrs": {...}}
+
+A span's record is written when it *closes*, so a trace file lists
+children before their parents; consumers rebuild the tree from the
+``parent`` links, never from file order.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+
+__all__ = ["Tracer", "Span", "get_tracer", "start_trace", "stop_trace"]
+
+_ENV_ENABLE = "REPRO_TRACE"
+_ENV_PATH = "REPRO_TRACE_PATH"
+_DEFAULT_PATH = "repro_trace.jsonl"
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _clean_attrs(attrs):
+    """JSON-scalar attribute values only; everything else stringifies."""
+    return {
+        key: value if isinstance(value, _SCALARS) else str(value)
+        for key, value in attrs.items()
+    }
+
+
+class _NoopSpan:
+    """The shared disabled span: every method is a no-op, ``id`` is None."""
+
+    __slots__ = ()
+    id = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span: context manager that emits its record on exit."""
+
+    __slots__ = ("tracer", "name", "id", "parent", "attrs", "_start", "_t0", "_children")
+
+    def __init__(self, tracer, name, span_id, parent_id, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.id = span_id
+        self.parent = parent_id
+        self.attrs = attrs
+        self._children = 0
+        self._start = None
+        self._t0 = None
+
+    def set(self, **attrs):
+        """Attach attributes after entry (e.g. counts known only at exit)."""
+        self.attrs.update(_clean_attrs(attrs))
+        return self
+
+    def next_child_id(self):
+        self._children += 1
+        return f"{self.id}.{self._children}"
+
+    def __enter__(self):
+        self._start = time.time()
+        self._t0 = time.perf_counter()
+        self.tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc):
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # tolerate out-of-order generator teardown
+            stack.remove(self)
+        self.tracer._emit(
+            {
+                "schema": 1,
+                "span": self.id,
+                "parent": self.parent,
+                "name": self.name,
+                "start": self._start,
+                "seconds": time.perf_counter() - self._t0,
+                "pid": os.getpid(),
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Span factory + JSONL writer; disabled when constructed without a path."""
+
+    def __init__(self, path=None, truncate=True):
+        self.path = None if path is None else str(path)
+        self.enabled = self.path is not None
+        self._stack = []
+        self._top_children = 0
+        self._item_index = None
+        self._last_map_spans = None
+        #: The pid that owns the main trace file; forked children write
+        #: per-pid segment files instead (merged by ``parallel_map``).
+        self._origin_pid = os.getpid()
+        if self.enabled and truncate:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            open(self.path, "w").close()
+
+    @classmethod
+    def from_env(cls):
+        """Enabled iff ``REPRO_TRACE`` is truthy; path from ``REPRO_TRACE_PATH``."""
+        if os.environ.get(_ENV_ENABLE, "").strip().lower() in _TRUTHY:
+            return cls(os.environ.get(_ENV_PATH) or _DEFAULT_PATH)
+        return cls(None)
+
+    # -- spans ---------------------------------------------------------------
+    def span(self, name, **attrs):
+        """A new child span of the innermost open span (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        if self._stack:
+            parent = self._stack[-1]
+            span_id, parent_id = parent.next_child_id(), parent.id
+        else:
+            span_id, parent_id = self._next_top_id(), None
+        return Span(self, name, span_id, parent_id, _clean_attrs(attrs))
+
+    def current_id(self):
+        """Id of the innermost open span, or ``None``."""
+        return self._stack[-1].id if self._stack else None
+
+    def _next_top_id(self):
+        self._top_children += 1
+        return str(self._top_children)
+
+    # -- the parallel_map protocol -------------------------------------------
+    def reserve_item_spans(self, count):
+        """Reserve ``count`` child ids under the current span, in order.
+
+        Called by ``parallel_map`` *before* forking: the parent burns the
+        child counter once per item, so the ids each item's span will use
+        are fixed by input position — independent of which worker (or the
+        serial loop) ends up executing the item.
+        """
+        if not self.enabled:
+            return None
+        if self._stack:
+            parent = self._stack[-1]
+            return [parent.next_child_id() for _ in range(count)]
+        return [self._next_top_id() for _ in range(count)]
+
+    def item_span(self, span_id, index, name="unit", **attrs):
+        """Open an item's span under its pre-reserved id.
+
+        Also marks the tracer as "inside item ``index``" so every record
+        emitted from a forked worker carries the item index its segment
+        line is merged by.
+        """
+        if not self.enabled or span_id is None:
+            return _NOOP_SPAN
+        parent_id = self._stack[-1].id if self._stack else None
+        span = Span(self, name, span_id, parent_id, _clean_attrs(attrs))
+        return _ItemContext(self, span, index)
+
+    def store_map_spans(self, spans):
+        """Record the span ids of the most recent ``parallel_map``'s items."""
+        self._last_map_spans = spans
+
+    def pop_map_spans(self):
+        """Take (and clear) the most recent map's item span ids, or ``None``."""
+        spans, self._last_map_spans = self._last_map_spans, None
+        return spans
+
+    # -- output --------------------------------------------------------------
+    def _emit(self, record):
+        if not self.enabled:
+            return
+        if os.getpid() == self._origin_pid:
+            target = self.path
+        else:
+            # Forked worker: own segment file, records tagged with the
+            # item index so the parent can merge in input order.
+            target = f"{self.path}.{os.getpid()}.seg"
+            if self._item_index is not None:
+                record = dict(record, item=self._item_index)
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def merge_segments(self):
+        """Fold worker segment files into the main trace, in input order.
+
+        Stable sort by item index: records of item 0 land before item 1
+        regardless of worker/shard, and each item's records keep their
+        within-worker emission order — so the merged trace is the serial
+        trace, modulo timings and pids.
+        """
+        if not self.enabled:
+            return
+        records = []
+        segments = sorted(glob.glob(f"{self.path}.*.seg"))
+        for segment in segments:
+            try:
+                with open(segment, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            records.append(json.loads(line))
+            except (OSError, ValueError):
+                continue
+        records.sort(key=lambda record: record.get("item", 0))
+        if records:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                for record in records:
+                    record.pop("item", None)
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        for segment in segments:
+            try:
+                os.unlink(segment)
+            except OSError:
+                pass
+
+
+class _ItemContext:
+    """An item's span plus the tracer's item-index scope around it."""
+
+    __slots__ = ("_tracer", "span", "_index")
+
+    def __init__(self, tracer, span, index):
+        self._tracer = tracer
+        self.span = span
+        self._index = index
+
+    @property
+    def id(self):
+        return self.span.id
+
+    def set(self, **attrs):
+        self.span.set(**attrs)
+        return self
+
+    def __enter__(self):
+        self._tracer._item_index = self._index
+        self.span.__enter__()
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            return self.span.__exit__(*exc)
+        finally:
+            self._tracer._item_index = None
+
+
+# -- the process-global tracer ------------------------------------------------
+
+_TRACER = None
+
+
+def get_tracer():
+    """The process tracer, lazily constructed from the environment."""
+    global _TRACER
+    if _TRACER is None:
+        _TRACER = Tracer.from_env()
+    return _TRACER
+
+
+def start_trace(path):
+    """Enable tracing to ``path`` (truncates), replacing the global tracer."""
+    global _TRACER
+    _TRACER = Tracer(path)
+    return _TRACER
+
+
+def stop_trace():
+    """Disable tracing; returns the finished trace's path (or ``None``)."""
+    global _TRACER
+    path = _TRACER.path if _TRACER is not None and _TRACER.enabled else None
+    _TRACER = Tracer(None)
+    return path

@@ -43,6 +43,7 @@ from repro.api.specs import ThreatModel
 from repro.attacks.base import Attack, AttackResult, VictimSpec, coerce_victim
 from repro.datasets import random_split
 from repro.graph.utils import normalize_adjacency
+from repro.obs import metrics
 from repro.parallel import parallel_map
 
 __all__ = [
@@ -122,26 +123,29 @@ def surrogate_case(case, hidden=None, seed=None, memo=None):
         return memo[key][1]
 
     graph = case.graph
-    split = random_split(graph.num_nodes, seed=seed + 1)
-    rng = np.random.default_rng(seed + 2)
-    model = GCN(graph.num_features, hidden, graph.num_classes, rng, config.dropout)
-    normalized = normalize_adjacency(graph.adjacency)
-    result = train_node_classifier(
-        model,
-        normalized,
-        graph.features,
-        graph.labels,
-        split.train,
-        split.val,
-        split.test,
-        epochs=config.epochs,
-        lr=config.learning_rate,
-        weight_decay=config.weight_decay,
-    )
-    with no_grad():
-        logits = model(normalized, Tensor(graph.features))
-    exp = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
-    probabilities = exp / exp.sum(axis=1, keepdims=True)
+    with metrics.time_phase("surrogate_training"):
+        split = random_split(graph.num_nodes, seed=seed + 1)
+        rng = np.random.default_rng(seed + 2)
+        model = GCN(
+            graph.num_features, hidden, graph.num_classes, rng, config.dropout
+        )
+        normalized = normalize_adjacency(graph.adjacency)
+        result = train_node_classifier(
+            model,
+            normalized,
+            graph.features,
+            graph.labels,
+            split.train,
+            split.val,
+            split.test,
+            epochs=config.epochs,
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        with no_grad():
+            logits = model(normalized, Tensor(graph.features))
+        exp = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
     surrogate = PreparedCase(
         graph=graph,
         split=split,
@@ -360,4 +364,7 @@ def execute_with_threat(
         )
         return reanchor_result(inner, graph, victim_model)
 
-    return parallel_map(run_one, specs, jobs=jobs)
+    return parallel_map(
+        run_one, specs, jobs=jobs,
+        describe=lambda spec: f"victim {spec.node} ({attack.name})",
+    )
