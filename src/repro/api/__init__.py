@@ -68,6 +68,9 @@ _EXPORTS = {
     "iter_sweep_events": "repro.api.session",
     "sweep_points": "repro.api.session",
     "events": "repro.api.events",
+    "EVENT_TYPES": "repro.api.events",
+    "event_from_dict": "repro.api.events",
+    "wire": "repro.api.wire",
     # describe
     "describe_registries": "repro.api.describe",
 }
@@ -78,7 +81,7 @@ __all__ = sorted(_EXPORTS)
 def __getattr__(name):
     if name in _EXPORTS:
         module = importlib.import_module(_EXPORTS[name])
-        if name == "events":
+        if name in ("events", "wire"):
             return module
         return getattr(module, name)
     raise AttributeError(f"module 'repro.api' has no attribute {name!r}")

@@ -77,6 +77,8 @@ def describe_registries(config=None, as_json=False):
     )
     lines.append("")
     lines += _backend_lines()
+    lines.append("")
+    lines += _service_lines()
     return "\n".join(lines)
 
 
@@ -100,3 +102,17 @@ def _backend_lines():
         "sparse: CSR adjacency with fused scatter kernels"
         " (FGA, FGA-T, Nettack, IG-Attack, GEAttack)",
     ]
+
+
+def _service_lines():
+    """The arena service's endpoint reference, text listing only.
+
+    Like the backend section, deliberately absent from ``--json``: the
+    JSON top-level shape (attacks/defenses/explainers) is a
+    compatibility contract, and the service is an execution front end,
+    not a registry.
+    """
+    from repro.service import endpoint_lines
+
+    title = "Arena service (python -m repro serve)"
+    return [title, "=" * len(title), *endpoint_lines()]

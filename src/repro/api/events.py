@@ -15,11 +15,19 @@ Every event carries an optional ``span`` — the id of the tracer span that
 was open when it was emitted (``None`` with tracing off).  The field is
 out-of-band telemetry: it is excluded from equality so event streams
 compare identically with tracing on or off.
+
+Every event also serializes: ``event.to_dict()`` produces a JSON-safe
+dict tagged with the class name (nested payloads lowered through
+:mod:`repro.api.wire`), ``EventClass.from_dict`` inverts it *exactly* —
+compare-excluded ``span`` included — and :func:`event_from_dict`
+dispatches on the tag.  This is the SSE wire format the service streams
+(see :mod:`repro.service`): a client decoding the stream holds the same
+typed objects an in-process ``session.run`` yields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = [
     "CasePrepared",
@@ -32,11 +40,50 @@ __all__ = [
     "VictimAttacked",
     "CellScored",
     "RunCompleted",
+    "EVENT_TYPES",
+    "event_from_dict",
 ]
 
 
+class _WireEvent:
+    """Shared exact ``to_dict``/``from_dict`` over the dataclass fields."""
+
+    def to_dict(self):
+        """JSON-safe dict tagged with the event class name.
+
+        Exact inverse of :meth:`from_dict`; nested payload objects are
+        lowered through :mod:`repro.api.wire` (imported lazily so the
+        event vocabulary stays import-light).
+        """
+        from repro.api import wire
+
+        data = {"event": type(self).__name__}
+        for spec in fields(self):
+            data[spec.name] = wire.encode(getattr(self, spec.name))
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild the event (``span`` and all) from :meth:`to_dict` output."""
+        from repro.api import wire
+
+        tag = data.get("event")
+        if tag is not None and tag != cls.__name__:
+            raise ValueError(
+                f"event dict is tagged {tag!r}, not {cls.__name__!r} "
+                "(use event_from_dict to dispatch on the tag)"
+            )
+        return cls(
+            **{
+                spec.name: wire.decode(data[spec.name])
+                for spec in fields(cls)
+                if spec.name in data
+            }
+        )
+
+
 @dataclass(frozen=True)
-class CasePrepared:
+class CasePrepared(_WireEvent):
     """A dataset instance is generated and its GCN trained."""
 
     dataset: str
@@ -48,7 +95,7 @@ class CasePrepared:
 
 
 @dataclass(frozen=True)
-class MethodStarted:
+class MethodStarted(_WireEvent):
     """One attack method begins its per-victim attack→inspect loop."""
 
     method: str
@@ -58,7 +105,7 @@ class MethodStarted:
 
 
 @dataclass(frozen=True)
-class VictimEvaluated:
+class VictimEvaluated(_WireEvent):
     """One victim attacked and inspected (the pipeline's unit of work).
 
     ``result`` is the :class:`~repro.attacks.AttackResult` with its
@@ -78,7 +125,7 @@ class VictimEvaluated:
 
 
 @dataclass(frozen=True)
-class MethodEvaluated:
+class MethodEvaluated(_WireEvent):
     """One method finished: the aggregated MethodEvaluation."""
 
     method: str
@@ -87,7 +134,7 @@ class MethodEvaluated:
 
 
 @dataclass(frozen=True)
-class SweepPointEvaluated:
+class SweepPointEvaluated(_WireEvent):
     """One grid value of a sweep aggregated into a SweepPoint."""
 
     kind: str
@@ -97,7 +144,7 @@ class SweepPointEvaluated:
 
 
 @dataclass(frozen=True)
-class VictimAttacked:
+class VictimAttacked(_WireEvent):
     """Arena: one victim's attack result obtained (executed or loaded)."""
 
     cell: object  # repro.arena.ScenarioCell
@@ -107,7 +154,7 @@ class VictimAttacked:
 
 
 @dataclass(frozen=True)
-class CellDeferred:
+class CellDeferred(_WireEvent):
     """Arena: a cell is leased by another live run; it will be re-polled.
 
     Emitted at most once per deferred cell on the first pass; the cell's
@@ -121,7 +168,7 @@ class CellDeferred:
 
 
 @dataclass(frozen=True)
-class CellExecuted:
+class CellExecuted(_WireEvent):
     """Arena: one execution cell's victims all present in the store."""
 
     cell: object  # repro.arena.ScenarioCell
@@ -131,7 +178,7 @@ class CellExecuted:
 
 
 @dataclass(frozen=True)
-class CellScored:
+class CellScored(_WireEvent):
     """Arena: one (cell × defense) entry of the matrix evaluated."""
 
     evaluation: object  # repro.arena.CellEvaluation
@@ -139,8 +186,40 @@ class CellScored:
 
 
 @dataclass(frozen=True)
-class RunCompleted:
+class RunCompleted(_WireEvent):
     """Terminal event: the experiment's aggregate result object."""
 
     result: object
     span: str | None = field(default=None, compare=False)
+
+
+#: Every event class by its wire tag (the ``"event"`` key of ``to_dict``).
+EVENT_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        CasePrepared,
+        MethodStarted,
+        VictimEvaluated,
+        MethodEvaluated,
+        SweepPointEvaluated,
+        VictimAttacked,
+        CellDeferred,
+        CellExecuted,
+        CellScored,
+        RunCompleted,
+    )
+}
+
+
+def event_from_dict(data):
+    """Rebuild any event from its :meth:`~_WireEvent.to_dict` output.
+
+    Dispatches on the ``"event"`` tag; raises :class:`KeyError` for an
+    unknown tag (a version-skewed peer, not silently-dropped data).
+    """
+    tag = data.get("event")
+    if tag not in EVENT_TYPES:
+        raise KeyError(
+            f"unknown event tag {tag!r}; known: {sorted(EVENT_TYPES)}"
+        )
+    return EVENT_TYPES[tag].from_dict(data)

@@ -782,9 +782,14 @@ class Session:
                         )
                     return (False, 0, 0)
                 try:
-                    executed_keys = self._execute_missing(
-                        run, store, cell, case, cfg, missing
-                    )
+                    # Heartbeat the lease while the attacks run: a cell
+                    # slower than the TTL stays ours (renewed every
+                    # ttl/3) instead of being stolen and double-executed
+                    # by a concurrent run.
+                    with lease.keep_alive():
+                        executed_keys = self._execute_missing(
+                            run, store, cell, case, cfg, missing
+                        )
                 finally:
                     lease.release()
             cached = len(specs) - len(executed_keys)

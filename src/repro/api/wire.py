@@ -1,0 +1,163 @@
+"""Type-tagged JSON codec for event payloads — the SSE wire format.
+
+:mod:`repro.api.events` objects carry rich nested payloads (``Victim``,
+``AttackResult``, ``CellEvaluation``, a whole ``ArenaRun`` on
+``RunCompleted``).  :func:`encode` lowers any of them to a JSON-safe
+structure and :func:`decode` inverts it **exactly** — the round-trip
+``decode(json.loads(json.dumps(encode(x)))) == x`` holds for every
+payload type an event can carry, which is what lets the service stream
+events over HTTP and lets a :class:`~repro.service.client.ServiceClient`
+hand back the same typed objects an in-process ``session.run`` yields.
+
+Wire shape:
+
+* JSON scalars pass through; numpy scalars are lowered to their Python
+  equivalents (``==`` equality is preserved).
+* Lists encode element-wise.  Tuples — pervasive in the frozen specs —
+  are wrapped as ``{"__kind__": "tuple", "items": [...]}`` so the
+  list/tuple distinction survives (dataclass equality depends on it).
+* Registered payload classes encode as ``{"__kind__": "<ClassName>",
+  "data": {...}}``.  Most register generically (field-per-key);
+  ``AttackResult`` and ``RunManifest`` delegate to their own canonical
+  ``to_dict`` serializations so the wire bytes match what the store and
+  the manifest already emit.
+* ``float("nan")`` / infinities survive via Python's JSON dialect
+  (``NaN``/``Infinity`` tokens — the SSE consumer is Python, and the
+  arena's degenerate-cell metrics are honest NaNs, not nulls).
+
+The registry is built lazily on first use: this module imports only the
+stdlib at import time, so :mod:`repro.api.events` can depend on it
+without dragging the experiment stack into every event import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+__all__ = ["encode", "decode"]
+
+_KIND = "__kind__"
+
+#: ``name -> (cls, encode_fn, decode_fn)``, built lazily (import cycles).
+_REGISTRY = None
+
+
+def _generic(cls):
+    """Field-per-key codec for a dataclass whose fields are wire-safe."""
+
+    def enc(obj):
+        return {f.name: encode(getattr(obj, f.name)) for f in fields(cls)}
+
+    def dec(data):
+        return cls(**{name: decode(value) for name, value in data.items()})
+
+    return (cls, enc, dec)
+
+
+def _build_registry():
+    from repro.api.specs import ThreatModel
+    from repro.arena.grid import ScenarioCell, ScenarioGrid
+    from repro.arena.runner import ArenaRun, CellEvaluation
+    from repro.attacks.base import AttackResult, VictimSpec
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.pipeline import MethodEvaluation, Victim
+    from repro.experiments.sweeps import SweepPoint
+    from repro.experiments.table_runner import ComparisonResult
+    from repro.obs.manifest import RunManifest
+
+    registry = {
+        cls.__name__: _generic(cls)
+        for cls in (
+            Victim,
+            VictimSpec,
+            MethodEvaluation,
+            SweepPoint,
+            ThreatModel,
+            ScenarioCell,
+            ScenarioGrid,
+            CellEvaluation,
+            ExperimentConfig,
+            ArenaRun,
+            ComparisonResult,
+        )
+    }
+    # AttackResult already owns the store's exact serialization; reuse it
+    # (the perturbed graph is intentionally not on the wire — decode
+    # rebuilds a metrics-only result, the same contract the store has).
+    registry["AttackResult"] = (
+        AttackResult,
+        lambda obj: obj.to_dict(),
+        lambda data: AttackResult.from_dict(data),
+    )
+    # RunManifest ships its public to_dict (the shape the service's
+    # /jobs/<id> endpoint documents); the derived ratio keys are
+    # recomputable, so decode drops them.
+    registry["RunManifest"] = (
+        RunManifest,
+        lambda obj: obj.to_dict(),
+        lambda data: RunManifest(
+            wall_seconds=data["wall_seconds"],
+            cells=data["cells"],
+            counters=data["counters"],
+        ),
+    )
+    return registry
+
+
+def _registry():
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def encode(value):
+    """Lower ``value`` to a JSON-safe structure (see module docstring)."""
+    if value is None or isinstance(value, (str, bool)):
+        return value
+    if isinstance(value, int):
+        return int(value)  # numpy ints via __index__-free int()
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and _KIND not in value:
+            return {key: encode(item) for key, item in value.items()}
+        return {
+            _KIND: "mapping",
+            "items": [[encode(k), encode(v)] for k, v in value.items()],
+        }
+    kind = type(value).__name__
+    entry = _registry().get(kind)
+    if entry is not None and isinstance(value, entry[0]):
+        return {_KIND: kind, "data": entry[1](value)}
+    # numpy scalars (bool_/integer/floating) lower via item(); anything
+    # else is a genuine wire-format gap and should fail loudly.
+    item = getattr(value, "item", None)
+    if callable(item):
+        lowered = item()
+        if isinstance(lowered, (bool, int, float, str, type(None))):
+            return encode(lowered)
+    raise TypeError(f"no wire encoding for {type(value).__name__}: {value!r}")
+
+
+def decode(value):
+    """Invert :func:`encode` (exact round-trip)."""
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        kind = value.get(_KIND)
+        if kind is None:
+            return {key: decode(item) for key, item in value.items()}
+        if kind == "tuple":
+            return tuple(decode(item) for item in value["items"])
+        if kind == "mapping":
+            return {decode(k): decode(v) for k, v in value["items"]}
+        entry = _registry().get(kind)
+        if entry is None:
+            raise ValueError(f"unknown wire kind {kind!r}")
+        return entry[2](value["data"])
+    return value

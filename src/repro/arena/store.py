@@ -35,12 +35,15 @@ and the victim simply re-executes.
 
 from __future__ import annotations
 
+import gzip
 import json
 import logging
 import os
 import socket
+import threading
 import time
 import uuid
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from hashlib import sha256
@@ -56,6 +59,12 @@ logger = logging.getLogger(__name__)
 #: Manifest line tags: a committed record, and a dropped (quarantined) key.
 _PUT, _DROP = "v2", "v2-drop"
 
+#: Leading bytes of a gzip stream — how ``get`` recognizes a compressed
+#: record (a JSON record can never begin with 0x1f).
+_GZIP_MAGIC = b"\x1f\x8b"
+_ENV_COMPRESS = "REPRO_STORE_COMPRESS"
+_TRUTHY = {"1", "true", "yes", "on"}
+
 
 @dataclass
 class Lease:
@@ -66,10 +75,18 @@ class Lease:
     exactly once across N concurrent runs) but protects nothing against a
     writer that ignores it.  A lease left behind by a killed process
     expires after its TTL and is stolen by the next claimant.
+
+    A *live* holder whose work outlasts the TTL renews: :meth:`renew`
+    re-stamps the lease file's acquisition time, and :meth:`keep_alive`
+    wraps a block in a background heartbeat doing so every ``ttl / 3``
+    seconds — a slow attack can then never be "stolen" mid-execution and
+    double-executed by a concurrent run.
     """
 
     path: Path
     token: str
+    #: TTL (seconds) the lease was acquired with; renewals re-use it.
+    ttl: float = 900.0
 
     def release(self):
         """Drop the lease if we still hold it (no-op after a steal)."""
@@ -83,6 +100,69 @@ class Lease:
             except OSError:
                 pass
 
+    def renew(self, ttl=None):
+        """Re-stamp the lease's acquisition time; False once stolen.
+
+        Rewrites the lease file (atomically) with a fresh timestamp and
+        the same token, pushing expiry ``ttl`` seconds into the future.
+        After a steal the token no longer matches and the renewal
+        declines — the new holder's file is never clobbered.  (A steal
+        racing the verify→replace window itself is possible in theory,
+        but a heartbeating holder renews at a third of its TTL — long
+        before any claimant considers the lease stale.)
+        """
+        ttl = float(self.ttl if ttl is None else ttl)
+        try:
+            content = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return False
+        if content.split("\t", 1)[0] != self.token:
+            return False
+        temp = self.path.with_name(f".{uuid.uuid4().hex}.renew")
+        try:
+            temp.write_text(
+                f"{self.token}\t{time.time()}\t{ttl}\n", encoding="utf-8"
+            )
+            os.replace(temp, self.path)
+        except OSError:
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+            return False
+        self.ttl = ttl
+        metrics.incr("lease.renewed")
+        return True
+
+    @contextmanager
+    def keep_alive(self, interval=None):
+        """Heartbeat-renew this lease for the duration of a block.
+
+        A daemon thread calls :meth:`renew` every ``interval`` seconds
+        (default ``ttl / 3``) until the block exits; the thread stops
+        beating on its own once the lease is stolen (nothing left to
+        extend).  The caller still releases the lease itself.
+        """
+        period = max(
+            0.05, self.ttl / 3.0 if interval is None else float(interval)
+        )
+        stop = threading.Event()
+
+        def beat():
+            while not stop.wait(period):
+                if not self.renew():
+                    return
+
+        thread = threading.Thread(
+            target=beat, name="lease-heartbeat", daemon=True
+        )
+        thread.start()
+        try:
+            yield self
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
 
 class ResultStore:
     """A directory of content-addressed JSON records with a manifest index."""
@@ -90,8 +170,14 @@ class ResultStore:
     MANIFEST_NAME = "MANIFEST"
     LEASE_DIR = ".leases"
 
-    def __init__(self, root):
+    def __init__(self, root, compress=None):
         self.root = Path(root)
+        #: ``True``/``False`` force record compression on/off for this
+        #: instance; ``None`` (the default) defers to the
+        #: ``REPRO_STORE_COMPRESS`` environment variable at each ``put``.
+        #: Reads never need the flag — ``get`` recognizes a compressed
+        #: record by its gzip magic — so mixed stores are first-class.
+        self.compress = compress
         self._index_cache = None
         self._bulk_depth = 0
         self._pending_lines = []
@@ -244,12 +330,21 @@ class ResultStore:
                 return self._quarantine(key, path, f"unreadable ({error})")
             entry = self._index.get(key)
             if entry is not None:
+                # Manifest length/sha cover the *stored* bytes —
+                # compressed or not — so the integrity check is format-
+                # independent and precedes any decompression.
                 _, length, digest = entry
                 if length != len(data) or digest != sha256(data).hexdigest():
                     metrics.incr("store.read_misses")
                     return self._quarantine(
                         key, path, "manifest checksum mismatch"
                     )
+            if data[:2] == _GZIP_MAGIC:
+                try:
+                    data = gzip.decompress(data)
+                except (OSError, EOFError, zlib.error):
+                    metrics.incr("store.read_misses")
+                    return self._quarantine(key, path, "corrupt gzip stream")
             try:
                 payload = json.loads(data.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
@@ -308,15 +403,26 @@ class ResultStore:
         line is appended and fsync'd — readers index the record from
         there, and ``get`` falls back to the path itself for the
         crash window between the two steps.
+
+        With compression on (``compress=True``, or the
+        ``REPRO_STORE_COMPRESS=1`` environment opt-in) the record is
+        stored as a deterministic gzip stream (``mtime=0`` — same
+        payload, same bytes) and the manifest's length/sha are computed
+        over those stored bytes.  Readers need no flag: ``get`` detects
+        the gzip magic, so compressed and plain records mix freely in one
+        store and resume exactly.
         """
         metrics.incr("store.writes")
         path = self.path(key)
         with metrics.time_phase("store_io"):
             path.parent.mkdir(parents=True, exist_ok=True)
-            data = canonical_json(payload)
+            blob = canonical_json(payload).encode("utf-8")
+            if self._compress_enabled():
+                metrics.incr("store.compressed_writes")
+                blob = gzip.compress(blob, mtime=0)
             temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
             try:
-                temp.write_text(data, encoding="utf-8")
+                temp.write_bytes(blob)
                 if not self._bulk_depth:
                     # Flush the temp file to disk before the rename becomes
                     # visible: os.replace is only atomic with respect to the
@@ -337,17 +443,22 @@ class ResultStore:
                 except OSError:
                     pass
                 raise
-            encoded = data.encode("utf-8")
             relpath = f"{key[:2]}/{path.name}"
-            digest = sha256(encoded).hexdigest()
-            line = self._manifest_line(key, relpath, len(encoded), digest)
+            digest = sha256(blob).hexdigest()
+            line = self._manifest_line(key, relpath, len(blob), digest)
             if self._bulk_depth:
                 self._pending_lines.append(line)
                 self._pending_dirs.add(path.parent)
             else:
                 self._sync_directory(path.parent)
                 self._append_manifest([line])
-            self._index[key] = (relpath, len(encoded), digest)
+            self._index[key] = (relpath, len(blob), digest)
+
+    def _compress_enabled(self):
+        if self.compress is not None:
+            return bool(self.compress)
+        flag = os.environ.get(_ENV_COMPRESS, "")
+        return flag.strip().lower() in _TRUTHY
 
     @contextmanager
     def bulk(self):
@@ -453,7 +564,7 @@ class ResultStore:
                 try:
                     os.link(temp, path)
                     metrics.incr("lease.acquired")
-                    return Lease(path=path, token=token)
+                    return Lease(path=path, token=token, ttl=float(ttl))
                 except FileExistsError:
                     pass
                 if not self._lease_expired(path, ttl):

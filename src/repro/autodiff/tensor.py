@@ -24,6 +24,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
 
 import numpy as np
@@ -45,30 +46,32 @@ __all__ = [
     "arange",
 ]
 
-_GRAD_ENABLED = True
+# Graph recording is a per-thread mode: the service's worker pool runs
+# concurrent attacks in threads, and a process-global flag would let one
+# thread's no_grad() evaluation silently stop a sibling thread's forward
+# pass from recording (grad() then fails with "input was not reached").
+_GRAD_MODE = threading.local()
 
 
 def is_grad_enabled():
-    """Return whether graph recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether graph recording is enabled in this thread."""
+    return getattr(_GRAD_MODE, "enabled", True)
 
 
 class _GradMode:
-    """Context manager toggling global graph recording."""
+    """Context manager toggling this thread's graph recording."""
 
     def __init__(self, enabled):
         self._enabled = enabled
         self._previous = None
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = self._enabled
+        self._previous = is_grad_enabled()
+        _GRAD_MODE.enabled = self._enabled
         return self
 
     def __exit__(self, exc_type, exc_value, traceback):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_MODE.enabled = self._previous
         return False
 
 
@@ -286,7 +289,7 @@ def make_node(data, inputs, vjps):
         parent gradient tensor; ``None`` marks a non-differentiable slot.
     """
     out = Tensor(data)
-    if _GRAD_ENABLED and any(t.requires_grad for t in inputs):
+    if is_grad_enabled() and any(t.requires_grad for t in inputs):
         out.requires_grad = True
         out._inputs = tuple(inputs)
         out._vjps = tuple(vjps)

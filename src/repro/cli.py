@@ -13,6 +13,7 @@ invocation.  Examples::
     python -m repro feature-attack --dataset citeseer
     python -m repro inspector-zoo --dataset cora
     python -m repro arena --store arena-store --resume
+    python -m repro serve --store arena-store --port 8008 --workers 2
     python -m repro describe
 
 With ``REPRO_TRACE=1`` any run additionally writes a structured span
@@ -154,6 +155,32 @@ def build_parser():
         help="clear the store before running (re-executes everything; "
         "excludes --resume)",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the arena job server (HTTP + SSE; see repro.service)",
+    )
+    serve.add_argument(
+        "--store",
+        default="arena-store",
+        help="result-store directory shared by every job (and any other "
+        "server or in-process run pointed at it)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8008,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="job worker threads (concurrent arena runs; overlapping "
+        "grids dedupe through store leases)",
+    )
     trace = sub.add_parser(
         "trace",
         help="inspect a structured trace written by a REPRO_TRACE=1 run",
@@ -215,6 +242,8 @@ def main(argv=None):
     # process pool forks, so workers inherit the trace configuration.
     get_tracer()
     config = SCALE_PRESETS[args.scale]
+    if args.command == "serve":
+        return _serve(config, args)
     session = Session(config=config, jobs=args.jobs)
 
     if args.command == "table1":
@@ -333,6 +362,43 @@ def _trace(args):
                 f"error: cell-span coverage {have} below required "
                 f"{args.min_coverage:.1f}%"
             )
+    return 0
+
+
+def _serve(config, args):
+    """``repro serve`` — run the arena job server until SIGTERM/SIGINT.
+
+    The first stdout line is the machine-readable listen announcement
+    (tests and scripts parse the URL out of it); shutdown drains every
+    queued and running job so the store's leases are released and a
+    restarted server resumes with zero re-executed cells.
+    """
+    import signal
+    import threading
+
+    from repro.service import ArenaService
+
+    service = ArenaService(
+        args.store,
+        config=config,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        jobs=args.jobs,
+    ).start()
+    print(
+        f"repro service listening on {service.url} "
+        f"(store={service.store_root}, workers={service.queue.workers}, "
+        f"scale={args.scale})",
+        flush=True,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    stop.wait()
+    print("repro service draining in-flight jobs ...", flush=True)
+    service.close(drain=True)
+    print("repro service stopped", flush=True)
     return 0
 
 

@@ -27,8 +27,11 @@ Counter catalog (the names the platform emits today):
 ``store.quarantined``          corrupt records renamed to ``*.corrupt``
 ``store.bulk_flushes``         ``bulk()`` batch commits
 ``store.fsyncs``               record + manifest fsync syscalls
+``store.compressed_writes``    records gzip-compressed on ``put``
 ``lease.acquired/busy/stolen`` ``ResultStore.try_lease`` outcomes
+``lease.renewed``              heartbeat TTL extensions (``Lease.renew``)
 ``arena.cells_deferred``       cells skipped on first pass (foreign lease)
+``service.jobs_*``             job server intake/outcomes (``repro.service``)
 ``backend.dispatch.<name>``    adjacency-leaf builds per compute backend
 ``parallel.items/failures``    units of work through ``parallel_map``
 ``phase.<name>.seconds/calls`` :func:`time_phase` blocks: ``case_prep``,

@@ -33,6 +33,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import threading
 import time
 
 __all__ = ["Tracer", "Span", "get_tracer", "start_trace", "stop_trace"]
@@ -129,10 +130,16 @@ class Tracer:
     def __init__(self, path=None, truncate=True):
         self.path = None if path is None else str(path)
         self.enabled = self.path is not None
-        self._stack = []
+        #: Span state is *per thread* (the service runs one ``Session``
+        #: per worker thread; each thread owns its own open-span stack
+        #: and parallel_map bookkeeping), while top-level span ids and
+        #: file appends are shared — guarded by ``_lock``.  Forked pool
+        #: workers keep the forking thread's state (its thread-local
+        #: values survive the fork) and get a fresh lock via the
+        #: ``os.register_at_fork`` hook below.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._top_children = 0
-        self._item_index = None
-        self._last_map_spans = None
         #: The pid that owns the main trace file; forked children write
         #: per-pid segment files instead (merged by ``parallel_map``).
         self._origin_pid = os.getpid()
@@ -141,6 +148,30 @@ class Tracer:
             if directory:
                 os.makedirs(directory, exist_ok=True)
             open(self.path, "w").close()
+
+    # -- per-thread span state -----------------------------------------------
+    @property
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def _item_index(self):
+        return getattr(self._local, "item_index", None)
+
+    @_item_index.setter
+    def _item_index(self, value):
+        self._local.item_index = value
+
+    @property
+    def _last_map_spans(self):
+        return getattr(self._local, "last_map_spans", None)
+
+    @_last_map_spans.setter
+    def _last_map_spans(self, value):
+        self._local.last_map_spans = value
 
     @classmethod
     def from_env(cls):
@@ -166,8 +197,9 @@ class Tracer:
         return self._stack[-1].id if self._stack else None
 
     def _next_top_id(self):
-        self._top_children += 1
-        return str(self._top_children)
+        with self._lock:
+            self._top_children += 1
+            return str(self._top_children)
 
     # -- the parallel_map protocol -------------------------------------------
     def reserve_item_spans(self, count):
@@ -219,8 +251,10 @@ class Tracer:
             target = f"{self.path}.{os.getpid()}.seg"
             if self._item_index is not None:
                 record = dict(record, item=self._item_index)
-        with open(target, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            with open(target, "a", encoding="utf-8") as handle:
+                handle.write(line)
 
     def merge_segments(self):
         """Fold worker segment files into the main trace, in input order.
@@ -289,6 +323,23 @@ class _ItemContext:
 # -- the process-global tracer ------------------------------------------------
 
 _TRACER = None
+
+
+def _reinit_lock_after_fork():
+    """Replace the tracer's lock in forked children.
+
+    A pool fork can land while another thread (a service worker, a lease
+    heartbeat) holds the tracer lock in the parent; the child would then
+    deadlock on its copied, forever-held lock.  The child is
+    single-threaded at birth, so a fresh lock is always correct.
+    """
+    tracer = _TRACER
+    if tracer is not None:
+        tracer._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_lock_after_fork)
 
 
 def get_tracer():

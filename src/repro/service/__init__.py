@@ -1,0 +1,78 @@
+"""Arena-as-a-service: a zero-dependency HTTP/SSE job server.
+
+Start a server over a result store (standard library only — no new
+dependencies)::
+
+    python -m repro serve --store arena-store --port 8008 --workers 2
+
+or in-process::
+
+    from repro.service import ArenaService
+
+    with ArenaService("arena-store", workers=2) as service:
+        ...  # service.url, service.port
+
+Endpoint reference
+------------------
+
+``POST /jobs``
+    Submit a job.  Body: ``{"grid": {<axes>}}`` — axis lists mirroring
+    :class:`~repro.arena.grid.ScenarioGrid` (``datasets``,
+    ``hidden_dims``, ``attacks``, ``defenses``, ``budget_caps``,
+    ``seeds``, ``threats``; threat entries are CLI grammar strings like
+    ``"surrogate+adaptive:jaccard"`` or ``ThreatModel`` dicts) — or
+    ``{"scenario": {<ScenarioSpec dict>}, "defenses": [...]}`` for one
+    canonical cell.  Optional: ``fresh``, ``lease_ttl``,
+    ``poll_interval``.  Returns 202 ``{"job", "state", "cells"}``;
+    400 on unknown axes/attacks/defenses, 503 once shutdown has begun.
+``GET /jobs/<id>``
+    Status snapshot: state (``queued``/``running``/``done``/``failed``),
+    event count, executed/loaded/deferred totals and the final
+    ``RunManifest`` dict once done.  404 for unknown ids.
+``GET /jobs/<id>/events``
+    Server-Sent Events stream of the run's typed
+    :mod:`repro.api.events` dicts (``event:`` is the class name,
+    ``data:`` its ``to_dict`` JSON, ``id:`` the event index).  Replays
+    from the start (or ``?since=<n>``), then follows live and closes
+    after the terminal ``RunCompleted``; keep-alive comments flow while
+    the job is quiet.  Decode with
+    :func:`repro.api.events.event_from_dict` — or use
+    :meth:`ServiceClient.events`, which does.
+``GET /cells/<key>``
+    The raw stored record for one content-addressed cell key, straight
+    from the store (no job required); 404 when absent.
+``GET /healthz``
+    Liveness + introspection: worker/queue sizes, per-state job counts,
+    store record count, and the :mod:`repro.obs.metrics` counters.
+
+Execution semantics: every job drains ``Session.run(ArenaExperiment)``
+on a worker thread, so SSE event sequences match an in-process run
+event-for-event (modulo span ids and timings).  Concurrent jobs —
+including jobs on *other* servers or hosts sharing the store — execute
+each unique cell exactly once via the store's advisory leases; losers
+emit ``CellDeferred`` and load the winner's results.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, grid_payload
+from repro.service.jobs import Job, JobQueue
+from repro.service.server import ArenaService
+
+__all__ = [
+    "ArenaService",
+    "Job",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceError",
+    "grid_payload",
+]
+
+
+def endpoint_lines():
+    """The endpoint reference as plain text lines (for ``repro describe``)."""
+    return [
+        "POST /jobs            submit a grid or canonical scenario; 202 + job id",
+        "GET  /jobs/<id>       status snapshot + final run manifest",
+        "GET  /jobs/<id>/events  SSE stream of typed repro.api.events dicts",
+        "GET  /cells/<key>     cached store record for one cell key",
+        "GET  /healthz         worker/queue/job/store + metrics counters",
+    ]

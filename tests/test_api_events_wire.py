@@ -1,0 +1,274 @@
+"""Exact wire round-trips for every typed event (the SSE payload layer).
+
+The service streams ``event.to_dict()`` JSON and clients rebuild typed
+events with :func:`repro.api.events.event_from_dict`; these tests pin
+the contract: ``from_dict(to_dict(e)) == e`` for every event class, with
+the compare-excluded ``span`` field preserved verbatim, nested result
+objects rebuilt field-for-field, and NaN surviving the JSON dialect.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import events as events_module
+from repro.api.events import (
+    EVENT_TYPES,
+    CasePrepared,
+    CellDeferred,
+    CellExecuted,
+    CellScored,
+    MethodEvaluated,
+    MethodStarted,
+    RunCompleted,
+    SweepPointEvaluated,
+    VictimAttacked,
+    VictimEvaluated,
+    event_from_dict,
+)
+from repro.api.specs import ThreatModel
+from repro.arena.grid import ScenarioCell, ScenarioGrid
+from repro.arena.runner import ArenaRun, CellEvaluation
+from repro.attacks import AttackResult, VictimSpec
+from repro.experiments import SCALE_PRESETS
+from repro.experiments.pipeline import MethodEvaluation, Victim
+from repro.experiments.sweeps import SweepPoint
+from repro.obs.manifest import RunManifest
+
+CELL = ScenarioCell(
+    dataset="cora",
+    hidden=16,
+    attack="GEAttack",
+    budget_cap=3,
+    seed=0,
+    threat=ThreatModel.parse("surrogate:h8,s3+adaptive:jaccard"),
+)
+
+RESULT = AttackResult(
+    perturbed_graph=None,
+    added_edges=[(3, 17), (3, 21)],
+    target_node=3,
+    target_label=2,
+    original_prediction=1,
+    final_prediction=2,
+    history=[("add", (3, 17)), ("add", (3, 21))],
+    # Direct dataclass equality needs an empty trace (from_dict decodes
+    # trace arrays to numpy, which breaks ``==``); the non-empty-trace
+    # exactness is asserted separately via to_dict in TestNestedPayloads.
+    score_trace=[],
+)
+
+EVALUATION = MethodEvaluation(
+    method="GEAttack",
+    asr=0.75,
+    asr_t=0.5,
+    precision=0.4,
+    recall=0.3,
+    f1=0.34,
+    ndcg=0.6,
+    per_victim=[{"node": 3, "asr": 1.0}],
+)
+
+
+def _sample_events():
+    """One realistically populated instance of every event class."""
+    manifest = RunManifest(
+        wall_seconds=1.25,
+        cells=[{"label": CELL.label(), "seconds": 0.5, "cached": 1, "executed": 2}],
+        counters={"store.writes": 2, "lease.acquired": 1},
+    )
+    run = ArenaRun(
+        grid=ScenarioGrid(attacks=("GEAttack",), defenses=("none",)),
+        config=SCALE_PRESETS["smoke"],
+        executed=2,
+        loaded=1,
+        deferred=1,
+        evaluations=[
+            CellEvaluation(
+                cell=CELL,
+                defense="jaccard",
+                victims=4,
+                evasion_rate=0.5,
+                inspection_evasion_rate=0.25,
+                detection_auc=0.8,
+            )
+        ],
+        manifest=manifest,
+    )
+    return [
+        CasePrepared(
+            dataset="cora", seed=0, hidden=16, test_accuracy=0.81,
+            num_victims=8, span="1.1",
+        ),
+        MethodStarted(method="GEAttack", dataset="cora", num_victims=8, span="1.2"),
+        VictimEvaluated(
+            method="GEAttack",
+            victim=Victim(node=3, degree=4, target_label=2),
+            result=RESULT,
+            report={"precision": 0.4, "recall": 0.3, "f1": 0.34, "ndcg": 0.6},
+            index=0,
+            total=8,
+            ranking=(17, 21, 9),
+            span="1.2.1",
+        ),
+        MethodEvaluated(method="GEAttack", evaluation=EVALUATION, span="1.3"),
+        SweepPointEvaluated(
+            kind="lambda",
+            value=0.5,
+            point=SweepPoint(
+                value=0.5, asr_t=0.5, precision=0.4, recall=0.3, f1=0.34,
+                ndcg=0.6, extras={"asr": 0.75},
+            ),
+            span="2.1",
+        ),
+        VictimAttacked(
+            cell=CELL,
+            victim=VictimSpec(node=3, target_label=2, budget=3),
+            loaded=True,
+            span="3.1.1",
+        ),
+        CellDeferred(cell=CELL, missing=2, span="3.2"),
+        CellExecuted(cell=CELL, cached=1, executed=2, span="3.3"),
+        CellScored(
+            evaluation=CellEvaluation(
+                cell=CELL,
+                defense="none",
+                victims=4,
+                evasion_rate=0.75,
+                inspection_evasion_rate=0.5,
+                detection_auc=0.7,
+            ),
+            span="3.4",
+        ),
+        RunCompleted(result=run, span="3"),
+    ]
+
+
+@pytest.fixture(params=range(len(EVENT_TYPES)), ids=sorted(EVENT_TYPES))
+def sample(request):
+    by_name = {type(event).__name__: event for event in _sample_events()}
+    return by_name[sorted(EVENT_TYPES)[request.param]]
+
+
+class TestRoundTrip:
+    def test_every_event_class_has_a_sample(self):
+        names = {type(event).__name__ for event in _sample_events()}
+        assert names == set(EVENT_TYPES)
+
+    def test_exact_round_trip(self, sample):
+        data = sample.to_dict()
+        assert data["event"] == type(sample).__name__
+        back = type(sample).from_dict(data)
+        assert back == sample
+
+    def test_span_preserved_despite_compare_exclusion(self, sample):
+        back = type(sample).from_dict(sample.to_dict())
+        assert back.span == sample.span
+
+    def test_survives_json_text(self, sample):
+        # The actual wire: dict -> JSON text -> dict -> typed event.
+        data = json.loads(json.dumps(sample.to_dict()))
+        assert event_from_dict(data) == sample
+
+    def test_event_from_dict_dispatches_by_tag(self, sample):
+        back = event_from_dict(sample.to_dict())
+        assert type(back) is type(sample)
+
+    def test_mismatched_tag_rejected(self, sample):
+        data = sample.to_dict()
+        data["event"] = "SomethingElse"
+        with pytest.raises((KeyError, ValueError)):
+            event_from_dict(data)
+
+
+class TestNestedPayloads:
+    def test_threat_model_round_trips_inside_cell(self):
+        event = CellDeferred(cell=CELL, missing=1)
+        back = event_from_dict(json.loads(json.dumps(event.to_dict())))
+        assert back.cell.threat == CELL.threat
+        assert back.cell.threat.defense_params == CELL.threat.defense_params
+
+    def test_victim_ranking_tuple_survives(self):
+        event = next(
+            e for e in _sample_events() if isinstance(e, VictimEvaluated)
+        )
+        back = event_from_dict(json.loads(json.dumps(event.to_dict())))
+        assert back.ranking == (17, 21, 9)
+        assert isinstance(back.ranking, tuple)
+
+    def test_attack_result_with_score_trace_exact_via_to_dict(self):
+        result = AttackResult(
+            perturbed_graph=None,
+            added_edges=[(3, 17)],
+            target_node=3,
+            target_label=2,
+            original_prediction=1,
+            final_prediction=2,
+            history=[("add", (3, 17))],
+            score_trace=[
+                {
+                    "choice": 1,
+                    "candidates": np.array([17, 21]),
+                    "scores": np.array([0.1, 0.9]),
+                }
+            ],
+        )
+        event = VictimEvaluated(
+            method="FGA-T", victim=Victim(3, 4, 2), result=result,
+            report={}, index=0, total=1,
+        )
+        back = event_from_dict(json.loads(json.dumps(event.to_dict())))
+        # from_dict decodes trace arrays to numpy, so compare canonically.
+        assert back.result.to_dict() == result.to_dict()
+
+    def test_nan_metric_survives(self):
+        event = CellScored(
+            evaluation=CellEvaluation(
+                cell=CELL,
+                defense="none",
+                victims=0,
+                evasion_rate=0.0,
+                inspection_evasion_rate=float("nan"),
+                detection_auc=float("nan"),
+            )
+        )
+        back = event_from_dict(json.loads(json.dumps(event.to_dict())))
+        assert math.isnan(back.evaluation.inspection_evasion_rate)
+        assert math.isnan(back.evaluation.detection_auc)
+
+    def test_numpy_scalars_lowered(self):
+        event = CellExecuted(
+            cell=CELL, cached=np.int64(1), executed=np.int64(2)
+        )
+        data = json.loads(json.dumps(event.to_dict()))
+        assert data["cached"] == 1
+        back = event_from_dict(data)
+        assert back.cached == 1 and back.executed == 2
+
+    def test_run_completed_manifest_round_trips(self):
+        event = next(
+            e for e in _sample_events() if isinstance(e, RunCompleted)
+        )
+        back = event_from_dict(json.loads(json.dumps(event.to_dict())))
+        assert back.result == event.result  # manifest is compare-excluded
+        assert back.result.manifest.wall_seconds == 1.25
+        assert back.result.manifest.counters == {
+            "store.writes": 2, "lease.acquired": 1,
+        }
+
+
+class TestModuleSurface:
+    def test_event_types_covers_all_exported_events(self):
+        assert set(EVENT_TYPES) == {
+            name
+            for name in events_module.__all__
+            if name[0].isupper() and name != "EVENT_TYPES"
+        }
+
+    def test_unknown_tag_raises_key_error(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"event": "NoSuchEvent"})

@@ -182,15 +182,15 @@ class TestResultStore:
 
         store = ResultStore(tmp_path / "store")
         key = content_key({"fault": 1})
-        real_write_text = Path.write_text
+        real_write_bytes = Path.write_bytes
 
-        def failing_write_text(self, *args, **kwargs):
+        def failing_write_bytes(self, *args, **kwargs):
             if self.name.endswith(".tmp"):
-                real_write_text(self, "torn", encoding="utf-8")
+                real_write_bytes(self, b"torn")
                 raise OSError("disk full")
-            return real_write_text(self, *args, **kwargs)
+            return real_write_bytes(self, *args, **kwargs)
 
-        monkeypatch.setattr(Path, "write_text", failing_write_text)
+        monkeypatch.setattr(Path, "write_bytes", failing_write_bytes)
         try:
             store.put(key, {"v": 1})
         except OSError as error:

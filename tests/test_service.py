@@ -1,0 +1,419 @@
+"""End-to-end coverage for the arena job server (``repro.service``).
+
+The acceptance bar from the PR issue, pinned as tests:
+
+* SSE event sequences match an in-process ``Session.run`` sequence
+  event-for-event (modulo span ids and timings).
+* A warm resubmit reports ``executed 0`` with every victim loaded.
+* Two concurrent jobs over overlapping grids — and a second server
+  process sharing the store — execute each unique cell exactly once.
+* Graceful shutdown drains in-flight jobs and releases every store
+  lease, so a restarted server resumes with zero re-executed cells.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Session
+from repro.api.events import (
+    CellDeferred,
+    CellExecuted,
+    CellScored,
+    RunCompleted,
+    VictimAttacked,
+)
+from repro.arena import ResultStore, ScenarioGrid
+from repro.experiments import SCALE_PRESETS
+from repro.service import ArenaService, ServiceClient, ServiceError
+
+#: Trimmed to seconds: tiny model, three victims, cheap attacks.
+CONFIG = replace(
+    SCALE_PRESETS["smoke"],
+    epochs=60,
+    num_victims=3,
+    margin_group=1,
+    explainer_epochs=20,
+)
+#: 2×2: two execution cells (attacks), each scored under two defenses.
+GRID = ScenarioGrid(
+    attacks=("FGA-T", "DICE"),
+    defenses=("none", "jaccard"),
+    budget_caps=(2,),
+    seeds=(0,),
+)
+
+
+@pytest.fixture(scope="module")
+def shared_cases():
+    """One trained model shared by the servers and reference runs."""
+    cases = {}
+    Session(config=CONFIG, jobs=1, cases=cases).prepared("cora")
+    return cases
+
+
+@pytest.fixture()
+def service(tmp_path, shared_cases):
+    with ArenaService(
+        tmp_path / "store", config=CONFIG, workers=2, cases=shared_cases
+    ) as running:
+        yield running
+
+
+def _project(event):
+    """An event's deterministic payload (drops spans/timings/arrays)."""
+    kind = type(event).__name__
+    if isinstance(event, VictimAttacked):
+        return (kind, event.cell.label(), event.victim.node, event.loaded)
+    if isinstance(event, CellDeferred):
+        return (kind, event.cell.label(), event.missing)
+    if isinstance(event, CellExecuted):
+        return (kind, event.cell.label(), event.cached, event.executed)
+    if isinstance(event, CellScored):
+        ev = event.evaluation
+        return (
+            kind, ev.cell.label(), ev.defense, ev.victims,
+            round(ev.evasion_rate, 12),
+        )
+    if isinstance(event, RunCompleted):
+        return (kind, event.result.executed, event.result.loaded)
+    return (kind,)
+
+
+class TestEventParity:
+    def test_sse_stream_matches_in_process_run(
+        self, service, tmp_path, shared_cases
+    ):
+        client = ServiceClient(service.url)
+        job = client.submit(grid=GRID)
+        served = [_project(event) for event in client.events(job)]
+
+        reference_store = ResultStore(tmp_path / "reference-store")
+        session = Session(config=CONFIG, cases=shared_cases)
+        from repro.api.specs import ArenaExperiment
+
+        local = [
+            _project(event)
+            for event in session.run(
+                ArenaExperiment(grid=GRID, store=reference_store)
+            )
+        ]
+        assert served == local
+
+    def test_typed_events_decode_with_real_classes(self, service):
+        client = ServiceClient(service.url)
+        job = client.submit(grid=GRID)
+        events = list(client.events(job))
+        assert isinstance(events[-1], RunCompleted)
+        assert {type(e).__name__ for e in events} >= {
+            "VictimAttacked", "CellExecuted", "CellScored", "RunCompleted",
+        }
+
+
+class TestWarmResubmit:
+    def test_second_submission_executes_nothing(self, service):
+        client = ServiceClient(service.url)
+        cold = client.wait(client.submit(grid=GRID))
+        assert cold["executed"] > 0
+
+        job = client.submit(grid=GRID)
+        events = list(client.events(job))
+        warm = client.status(job)
+        assert warm["executed"] == 0
+        assert warm["loaded"] == cold["executed"]
+        attacked = [e for e in events if isinstance(e, VictimAttacked)]
+        assert attacked and all(e.loaded for e in attacked)
+
+    def test_manifest_present_when_done(self, service):
+        client = ServiceClient(service.url)
+        status = client.wait(client.submit(grid=GRID))
+        manifest = status["manifest"]
+        assert manifest is not None
+        assert manifest["wall_seconds"] > 0
+        assert isinstance(manifest["cells"], list)
+
+
+class TestEndpoints:
+    def test_cells_served_at_store_speed(self, service):
+        client = ServiceClient(service.url)
+        client.wait(client.submit(grid=GRID))
+        store = ResultStore(service.store_root)
+        keys = store.keys()
+        assert keys
+        for key in keys[:3]:
+            assert client.cell(key) == store.get(key)
+
+    def test_unknown_cell_is_none(self, service):
+        assert ServiceClient(service.url).cell("0" * 64) is None
+
+    def test_healthz_reports_workers_jobs_and_store(self, service):
+        client = ServiceClient(service.url)
+        client.wait(client.submit(grid=GRID))
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["accepting"] is True
+        assert health["jobs"]["done"] >= 1
+        assert health["store"]["records"] > 0
+        assert health["counters"]["service.jobs_submitted"] >= 1
+        assert health["counters"]["service.jobs_completed"] >= 1
+
+    def test_unknown_attack_rejected_at_post(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit(grid={"attacks": ["NoSuchAttack"]})
+        assert err.value.status == 400
+        assert "unknown attack" in str(err.value)
+
+    def test_unknown_axis_rejected(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit(grid={"budget": [3]})
+        assert err.value.status == 400
+
+    def test_unknown_job_is_404(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.status("nonexistent")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            list(client.events("nonexistent"))
+        assert err.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            ServiceClient(service.url)._request("/nope")
+        assert err.value.status == 404
+
+    def test_events_since_resumes_mid_stream(self, service):
+        client = ServiceClient(service.url)
+        job = client.submit(grid=GRID)
+        everything = [
+            _project(e) for e in client.events(job)
+        ]
+        tail = [_project(e) for e in client.events(job, since=2)]
+        assert tail == everything[2:]
+
+
+class TestScenarioSubmission:
+    def test_canonical_scenario_dict_runs(self, service):
+        from repro.arena.grid import ScenarioCell, cell_config
+
+        cell = ScenarioCell(
+            dataset="cora", hidden=CONFIG.hidden, attack="DICE",
+            budget_cap=2, seed=0,
+        )
+        scenario = cell_config(cell, CONFIG)
+        client = ServiceClient(service.url)
+        job = client.submit(scenario=scenario, defenses=["none"])
+        status = client.wait(job)
+        assert status["state"] == "done"
+        assert status["cells"] == 1
+
+    def test_mismatched_scenario_rejected(self, service):
+        from repro.arena.grid import ScenarioCell, cell_config
+
+        cell = ScenarioCell(
+            dataset="cora", hidden=CONFIG.hidden, attack="DICE",
+            budget_cap=2, seed=0,
+        )
+        scenario = cell_config(cell, CONFIG)
+        scenario["model"]["epochs"] = 99999  # not this server's config
+        with pytest.raises(ServiceError) as err:
+            ServiceClient(service.url).submit(scenario=scenario)
+        assert err.value.status == 400
+        assert "does not match" in str(err.value)
+
+
+class TestExactlyOnce:
+    def test_concurrent_overlapping_jobs_execute_each_cell_once(
+        self, tmp_path, shared_cases
+    ):
+        """Two jobs over overlapping grids on one two-worker server."""
+        overlap = ScenarioGrid(
+            attacks=("FGA-T", "DICE"), defenses=("none",),
+            budget_caps=(2,), seeds=(0,),
+        )
+        with ArenaService(
+            tmp_path / "store", config=CONFIG, workers=2, cases=shared_cases
+        ) as service:
+            client = ServiceClient(service.url)
+            first = client.submit(grid=overlap, poll_interval=0.05)
+            second = client.submit(grid=overlap, poll_interval=0.05)
+            a, b = client.wait(first), client.wait(second)
+        # Unique work: 2 cells × 3 victims; every attack ran exactly once.
+        assert a["executed"] + b["executed"] == 6
+        assert a["executed"] + a["loaded"] == 6
+        assert b["executed"] + b["loaded"] == 6
+        assert len(ResultStore(tmp_path / "store").keys()) == 6
+
+    def test_second_server_process_shares_the_store(
+        self, tmp_path, shared_cases
+    ):
+        """Two *servers* (separate queues) over one store, same grid."""
+        store_root = tmp_path / "store"
+        with ArenaService(
+            store_root, config=CONFIG, workers=1, cases=shared_cases
+        ) as one, ArenaService(
+            store_root, config=CONFIG, workers=1, cases=shared_cases
+        ) as two:
+            job_a = ServiceClient(one.url).submit(
+                grid=GRID, poll_interval=0.05
+            )
+            job_b = ServiceClient(two.url).submit(
+                grid=GRID, poll_interval=0.05
+            )
+            a = ServiceClient(one.url).wait(job_a)
+            b = ServiceClient(two.url).wait(job_b)
+        assert a["executed"] + b["executed"] == 6
+        assert a["loaded"] + b["loaded"] == 6
+
+
+class TestGracefulShutdown:
+    def test_drain_finishes_jobs_and_releases_leases(
+        self, tmp_path, shared_cases
+    ):
+        store_root = tmp_path / "store"
+        service = ArenaService(
+            store_root, config=CONFIG, workers=2, cases=shared_cases
+        ).start()
+        client = ServiceClient(service.url)
+        job = client.submit(grid=GRID)
+        service.close(drain=True)  # returns only once the job settled
+
+        assert service.queue.get(job).state == "done"
+        assert glob.glob(str(store_root / "**" / "*.lease"), recursive=True) == []
+
+        # Intake is closed: a late submit is a clean 503, not a hang.
+        # (The listener is down too, so the request itself must fail.)
+        with pytest.raises((ServiceError, OSError)):
+            client.submit(grid=GRID)
+
+        # A restarted server over the drained store re-executes nothing.
+        with ArenaService(
+            store_root, config=CONFIG, workers=1, cases=shared_cases
+        ) as restarted:
+            warm = ServiceClient(restarted.url).wait(
+                ServiceClient(restarted.url).submit(grid=GRID)
+            )
+        assert warm["executed"] == 0
+        assert warm["loaded"] == 6
+
+    def test_no_drain_fails_queued_jobs(self, tmp_path, shared_cases):
+        service = ArenaService(
+            tmp_path / "store", config=CONFIG, workers=1, cases=shared_cases
+        ).start()
+        # One worker: with three submissions at least one is still queued
+        # when close() lands; whichever ran (or runs) must finish cleanly.
+        client = ServiceClient(service.url)
+        jobs = [client.submit(grid=GRID) for _ in range(3)]
+        service.close(drain=False)
+        states = {service.queue.get(job).state for job in jobs}
+        assert states <= {"done", "failed"}
+        assert "failed" in states
+
+
+class TestServeSubprocess:
+    def test_sigterm_drains_and_store_resumes_warm(self, tmp_path):
+        """``python -m repro serve`` + SIGTERM: the CLI graceful path."""
+        store_root = tmp_path / "store"
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.path.abspath("src"),
+            PYTHONUNBUFFERED="1",
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--store", str(store_root), "--port", "0", "--workers", "1",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "repro service listening on " in banner
+            url = banner.split("listening on ", 1)[1].split()[0]
+
+            client = ServiceClient(url)
+            # Smoke scale (the subprocess default): DICE alone runs in
+            # seconds; SIGTERM lands while the job may still be running.
+            job = client.submit(
+                grid={
+                    "attacks": ["DICE"],
+                    "defenses": ["none"],
+                    "budget_caps": [2],
+                }
+            )
+            time.sleep(0.2)
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=180)
+            assert process.returncode == 0
+            assert "draining" in out and "stopped" in out
+
+            # The drain completed the job and released every lease...
+            assert glob.glob(
+                str(store_root / "**" / "*.lease"), recursive=True
+            ) == []
+            store = ResultStore(store_root)
+            assert len(store.keys()) > 0
+            # ...so a fresh in-process run over the store is fully warm.
+            warm = Session(config=SCALE_PRESETS["smoke"]).arena(
+                ScenarioGrid(
+                    attacks=("DICE",), defenses=("none",),
+                    budget_caps=(2,), seeds=(0,),
+                ),
+                store,
+            )
+            assert warm.executed == 0
+            assert warm.loaded == len(store.keys())
+            assert "executed 0 attacks" in warm.stats_line()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=30)
+
+
+def _http_get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestRawWire:
+    def test_sse_frames_are_well_formed(self, service):
+        """Parse the raw SSE bytes (no client library) frame by frame."""
+        client = ServiceClient(service.url)
+        job = client.submit(grid=GRID)
+        client.wait(job)
+        with urllib.request.urlopen(
+            f"{service.url}/jobs/{job}/events", timeout=60
+        ) as response:
+            body = response.read().decode("utf-8")
+        frames = [f for f in body.split("\n\n") if f and not f.startswith(":")]
+        ids = []
+        for frame in frames:
+            lines = dict(
+                line.split(": ", 1) for line in frame.splitlines() if line
+            )
+            assert {"id", "event", "data"} <= set(lines)
+            payload = json.loads(lines["data"])
+            assert payload["event"] == lines["event"]
+            ids.append(int(lines["id"]))
+        assert ids == list(range(len(ids)))
+        assert json.loads(
+            dict(
+                line.split(": ", 1) for line in frames[-1].splitlines()
+            )["data"]
+        )["event"] == "RunCompleted"
