@@ -23,6 +23,14 @@ The grid below spans three threat models per attack:
   Jaccard sanitization (the "Adaptive evasion delta" matrix shows what
   optimizing through the defense buys).
 
+A final mini-grid crosses the architecture axis: the same FGA-T cells
+re-run with ``archs=("gcn", "gat")`` under a ``surrogate:gcn`` threat —
+i.e. a GCN surrogate attacking a *GAT* victim.  For the GCN victim,
+``surrogate:gcn`` normalizes to the plain ``surrogate`` key, so those
+cells come straight from the store; only the GAT cells execute, and the
+``arch=gat`` "Surrogate transfer gap" block is the cross-architecture
+transfer measurement.
+
 Usage::
 
     python examples/arena_quickstart.py [--store arena-quickstart-store]
@@ -32,6 +40,9 @@ CLI equivalent (resumable across shell sessions)::
     python -m repro arena --attacks FGA-T,GEAttack \
         --defenses none,jaccard,explainer --store arena-store --resume \
         --threat white_box+oblivious --threat surrogate --threat adaptive:jaccard
+    python -m repro arena --attacks FGA-T --defenses none \
+        --archs gcn,gat --threat white_box+oblivious --threat surrogate:gcn \
+        --store arena-store --resume
 """
 
 import argparse
@@ -80,6 +91,27 @@ def main():
     assert warm.executed == 0, "warm store must re-execute nothing"
     assert warm_text == cold_text, "resume must render byte-identical matrices"
     print("warm run executed zero attacks and rendered a byte-identical matrix")
+
+    # Cross-architecture transfer: a GCN surrogate attacking a GAT victim.
+    # ``surrogate:gcn`` normalizes to the historical ``surrogate`` key on
+    # the GCN victim, so its cells stay warm; only the GAT cells execute.
+    transfer_grid = ScenarioGrid(
+        attacks=("FGA-T",),
+        defenses=("none",),
+        budget_caps=(3,),
+        seeds=(0,),
+        threats=("white_box+oblivious", "surrogate:gcn"),
+        archs=("gcn", "gat"),
+    )
+    print(f"\n== GAT transfer run ({transfer_grid.num_cells} cells) ==")
+    start = time.perf_counter()
+    transfer = session.arena(transfer_grid, store)
+    transfer_text = render_arena_matrices(transfer)
+    print(f"{transfer.stats_line()}  [{time.perf_counter() - start:.1f}s]")
+    assert transfer.loaded > 0, "gcn cells must come from the warm store"
+    assert "arch=gat" in transfer_text, "GAT victims render their own block"
+    print()
+    print(transfer_text)
 
     if not args.keep:
         shutil.rmtree(args.store, ignore_errors=True)

@@ -76,10 +76,26 @@ def describe_registries(config=None, as_json=False):
         flags=[("fitted", "fitted per case")],
     )
     lines.append("")
+    lines += _architecture_lines(schema["architectures"])
+    lines.append("")
     lines += _backend_lines()
     lines.append("")
     lines += _service_lines()
     return "\n".join(lines)
+
+
+def _architecture_lines(entries):
+    """The registered victim architectures (the arena's ``--archs`` axis)."""
+    title = "Architectures"
+    lines = [title, "=" * len(title)]
+    for name, entry in entries.items():
+        locality = (
+            "exact locality"
+            if entry.get("exact_locality")
+            else "full-graph fallback (no exact locality)"
+        )
+        lines.append(f"{name}  ({entry['class']})  [{locality}]")
+    return lines
 
 
 def _backend_lines():

@@ -117,7 +117,7 @@ def build_attack(
     backend is an execution detail — results are identical by the
     differential contract — so it never enters specs or store keys.
     """
-    from repro.autodiff.backend import get_backend
+    from repro.attacks.base import resolve_attack_backend
 
     config = case.config if config is None else config
     if isinstance(spec, str):
@@ -135,7 +135,7 @@ def build_attack(
             else fit_pg_explainer(case, config)
         )
     attack = cls.from_spec(case, spec, dependencies=dependencies, seed=seed)
-    attack.backend = get_backend(backend)
+    attack.backend = resolve_attack_backend(case.model, backend)
     return attack
 
 
@@ -155,10 +155,16 @@ def attacker_case(case, threat, context=None):
         return case
     if context is not None and hasattr(context, "surrogate_case"):
         return context.surrogate_case(
-            case, hidden=threat.surrogate_hidden, seed=threat.surrogate_seed
+            case,
+            hidden=threat.surrogate_hidden,
+            seed=threat.surrogate_seed,
+            arch=threat.surrogate_arch,
         )
     return surrogate_case(
-        case, hidden=threat.surrogate_hidden, seed=threat.surrogate_seed
+        case,
+        hidden=threat.surrogate_hidden,
+        seed=threat.surrogate_seed,
+        arch=threat.surrogate_arch,
     )
 
 
@@ -191,15 +197,19 @@ def scenario_spec(cell, config):
     """
     from repro.threat import resolve_threat
 
+    arch = getattr(cell, "arch", "gcn")
     return ScenarioSpec(
         dataset=DatasetSpec.from_config(cell.dataset, config),
-        model=ModelSpec.from_config(config, hidden=cell.hidden),
+        model=ModelSpec.from_config(config, hidden=cell.hidden, arch=arch),
         victim_policy=VictimPolicy.from_config(config),
         attack=attack_spec(cell.attack, config),
         budget_cap=cell.budget_cap,
         seed=cell.seed,
         threat=resolve_threat(
-            getattr(cell, "threat", None) or ThreatModel(), config, cell.seed
+            getattr(cell, "threat", None) or ThreatModel(),
+            config,
+            cell.seed,
+            arch=arch,
         ),
     )
 
@@ -422,4 +432,18 @@ def registry_schema(config=None):
         kind: entry(recipe.cls, recipe.params, {"fitted": recipe.fitted})
         for kind, recipe in sorted(EXPLAINERS.items())
     }
-    return {"attacks": attacks, "defenses": defenses, "explainers": explainers}
+    from repro.nn import ARCHITECTURES
+
+    architectures = {
+        name: {
+            "class": f"{cls.__module__}.{cls.__qualname__}",
+            "exact_locality": bool(cls.exact_locality),
+        }
+        for name, cls in sorted(ARCHITECTURES.items())
+    }
+    return {
+        "attacks": attacks,
+        "defenses": defenses,
+        "explainers": explainers,
+        "architectures": architectures,
+    }

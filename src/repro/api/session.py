@@ -403,50 +403,57 @@ class Session:
         self.backend = backend
 
     # -- caches --------------------------------------------------------------
-    def prepared(self, dataset, seed=None, hidden=None):
+    def prepared(self, dataset, seed=None, hidden=None, arch=None):
         """``(case, victims)`` for a dataset instance, memoized.
 
         Case preparation (training) and victim derivation (FGA probing)
-        are deterministic functions of ``(dataset, hidden, seed, config)``
-        and independent of attack/defense, so every consumer sharing the
-        key reuses them.  The effective config is part of the memo key
-        (frozen dataclasses hash by value), so a ``cases`` dict shared
-        across sessions with *different* configs can never serve a model
-        trained under the wrong knobs.
+        are deterministic functions of ``(dataset, hidden, seed, arch,
+        config)`` and independent of attack/defense, so every consumer
+        sharing the key reuses them.  The effective config is part of the
+        memo key (frozen dataclasses hash by value), so a ``cases`` dict
+        shared across sessions with *different* configs can never serve a
+        model trained under the wrong knobs.
         """
         seed = self.config.seed if seed is None else int(seed)
         hidden = self.config.hidden if hidden is None else int(hidden)
+        arch = "gcn" if arch is None else str(arch)
         config = replace(self.config, hidden=hidden)
-        key = (dataset, hidden, seed, config)
+        key = (dataset, hidden, seed, arch, config)
         if key not in self._memo:
-            case = prepare_case(dataset, config, seed=seed, backend=self.backend)
+            case = prepare_case(
+                dataset, config, seed=seed, backend=self.backend, arch=arch
+            )
             victims = derive_target_labels(case, select_victims(case))
             self._memo[key] = (case, victims)
         return self._memo[key]
 
-    def case(self, dataset, seed=None, hidden=None):
+    def case(self, dataset, seed=None, hidden=None, arch=None):
         """The prepared (trained) case alone."""
-        return self.prepared(dataset, seed=seed, hidden=hidden)[0]
+        return self.prepared(dataset, seed=seed, hidden=hidden, arch=arch)[0]
 
-    def victims(self, dataset, seed=None, hidden=None):
+    def victims(self, dataset, seed=None, hidden=None, arch=None):
         """The derived victim set alone."""
-        return self.prepared(dataset, seed=seed, hidden=hidden)[1]
+        return self.prepared(dataset, seed=seed, hidden=hidden, arch=arch)[1]
 
     def pg_explainer(self, case):
         """The case's fitted PGExplainer (one fit per case, memoized)."""
         return fit_pg_explainer(case, self.config, memo=self._memo)
 
-    def surrogate_case(self, case, hidden=None, seed=None):
+    def surrogate_case(self, case, hidden=None, seed=None, arch=None):
         """A surrogate-attacker case for ``case`` (one training, memoized).
 
         The attacker-side mirror of :meth:`prepared`: an independently
-        trained GCN on the same observed graph (see
+        trained model on the same observed graph (see
         :func:`repro.threat.surrogate_case`), shared across every arena
-        cell with the same victim case and surrogate settings.
+        cell with the same victim case and surrogate settings.  ``arch``
+        defaults to the victim case's own architecture; naming another
+        registered architecture gives the cross-arch transfer setting.
         """
         from repro.threat import surrogate_case
 
-        return surrogate_case(case, hidden=hidden, seed=seed, memo=self._memo)
+        return surrogate_case(
+            case, hidden=hidden, seed=seed, arch=arch, memo=self._memo
+        )
 
     # -- the front door ------------------------------------------------------
     def run(self, experiment):
@@ -654,11 +661,28 @@ class Session:
                 raise KeyError(
                     f"unknown defense {name!r}; options: {sorted(DEFENSES)}"
                 )
+        from repro.nn import ARCHITECTURES
+
+        for arch in getattr(grid, "archs", ("gcn",)):
+            if arch not in ARCHITECTURES:
+                raise KeyError(
+                    f"unknown architecture {arch!r}; "
+                    f"options: {sorted(ARCHITECTURES)}"
+                )
         for threat in getattr(grid, "threats", ()):
             if threat.is_adaptive and threat.defense not in DEFENSES:
                 raise KeyError(
                     f"unknown adapted defense {threat.defense!r}; "
                     f"options: {sorted(DEFENSES)}"
+                )
+            if (
+                threat.surrogate_arch is not None
+                and threat.surrogate_arch not in ARCHITECTURES
+            ):
+                raise KeyError(
+                    f"unknown surrogate architecture "
+                    f"{threat.surrogate_arch!r}; "
+                    f"options: {sorted(ARCHITECTURES)}"
                 )
         run = ArenaRun(grid=grid, config=config)
 
@@ -740,7 +764,10 @@ class Session:
             if entry is None:
                 with tracer.span("case-prep", dataset=cell.dataset):
                     case, victims = self.prepared(
-                        cell.dataset, seed=cell.seed, hidden=cell.hidden
+                        cell.dataset,
+                        seed=cell.seed,
+                        hidden=cell.hidden,
+                        arch=getattr(cell, "arch", "gcn"),
                     )
                 specs = [
                     VictimSpec(
@@ -817,7 +844,10 @@ class Session:
         ]
         if not missing:
             return frozenset()
-        threat = resolve_threat(cell.threat, self.config, cell.seed)
+        threat = resolve_threat(
+            cell.threat, self.config, cell.seed,
+            arch=getattr(cell, "arch", "gcn"),
+        )
         attack = build_attack(
             cell.attack, case, self.config, context=self, threat=threat,
             backend=self.backend,

@@ -74,22 +74,44 @@ class DatasetSpec(_FieldSpec):
 
 @dataclass(frozen=True)
 class ModelSpec(_FieldSpec):
-    """The attacked GCN's architecture and training hyperparameters."""
+    """The attacked model's architecture and training hyperparameters.
+
+    ``arch`` names a :data:`repro.nn.ARCHITECTURES` entry (``"gcn"``,
+    ``"gat"``, ``"sage"``, ``"gin"``).  The default ``"gcn"`` — the only
+    architecture that ever existed before the model zoo — is *omitted*
+    from :meth:`to_dict`, so every store key written before the ``arch``
+    axis existed still resolves bit-for-bit (the same back-compat trick
+    the threat axis uses).
+    """
 
     hidden: int = 16
     epochs: int = 200
     learning_rate: float = 0.01
     weight_decay: float = 5e-4
     dropout: float = 0.5
+    arch: str = "gcn"
+
+    def to_dict(self):
+        data = super().to_dict()
+        if data["arch"] == "gcn":
+            del data["arch"]  # pre-model-zoo keys stay warm
+        return data
 
     @classmethod
-    def from_config(cls, config, hidden=None):
+    def from_dict(cls, data):
+        data = dict(data)
+        data.setdefault("arch", "gcn")
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
+    @classmethod
+    def from_config(cls, config, hidden=None, arch=None):
         return cls(
             hidden=config.hidden if hidden is None else int(hidden),
             epochs=config.epochs,
             learning_rate=config.learning_rate,
             weight_decay=config.weight_decay,
             dropout=config.dropout,
+            arch="gcn" if arch is None else str(arch),
         )
 
 
@@ -258,6 +280,7 @@ class ThreatModel(_FieldSpec):
     adaptivity: str = "oblivious"
     surrogate_hidden: int | None = None
     surrogate_seed: int | None = None
+    surrogate_arch: str | None = None
     defense: str | None = None
     defense_params: tuple = ()
 
@@ -276,7 +299,9 @@ class ThreatModel(_FieldSpec):
                 f"options: {list(ADAPTIVITY_LEVELS)}"
             )
         if self.knowledge == "white_box" and (
-            self.surrogate_hidden is not None or self.surrogate_seed is not None
+            self.surrogate_hidden is not None
+            or self.surrogate_seed is not None
+            or self.surrogate_arch is not None
         ):
             raise ValueError(
                 "white_box threat models carry no surrogate fields"
@@ -313,16 +338,32 @@ class ThreatModel(_FieldSpec):
     def white_box_twin(self):
         """The same adaptivity with full (white-box) model knowledge."""
         return self.replace(
-            knowledge="white_box", surrogate_hidden=None, surrogate_seed=None
+            knowledge="white_box",
+            surrogate_hidden=None,
+            surrogate_seed=None,
+            surrogate_arch=None,
         )
 
+    def to_dict(self):
+        data = super().to_dict()
+        if data["surrogate_arch"] is None:
+            del data["surrogate_arch"]  # pre-model-zoo threat keys stay warm
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data.setdefault("surrogate_arch", None)
+        return cls(**{f.name: data[f.name] for f in fields(cls)})
+
     def label(self):
-        """Compact axis label, e.g. ``surrogate(h8,s61)+adaptive(jaccard)``."""
+        """Compact axis label, e.g. ``surrogate(gcn,h8,s61)+adaptive(jaccard)``."""
         parts = []
         if self.is_surrogate:
             inner = ",".join(
                 text
                 for text, value in (
+                    (str(self.surrogate_arch), self.surrogate_arch),
                     (f"h{self.surrogate_hidden}", self.surrogate_hidden),
                     (f"s{self.surrogate_seed}", self.surrogate_seed),
                 )
@@ -346,12 +387,14 @@ class ThreatModel(_FieldSpec):
         * ``white_box`` / ``oblivious`` — explicit defaults (no-ops);
         * ``surrogate`` / ``surrogate:h<H>`` / ``surrogate:s<S>`` /
           ``surrogate:h<H>,s<S>`` — surrogate knowledge, optionally
-          pinning the surrogate's hidden width and/or training seed;
+          pinning the surrogate's hidden width and/or training seed; a
+          bare-identifier token (``surrogate:gcn``) pins the surrogate's
+          *architecture* (validated against the registry at submit time);
         * ``adaptive:<defense>`` (alias ``preprocess_aware:<defense>``) —
           preprocess-aware adaptivity against a registered defense.
 
         Examples: ``surrogate``, ``adaptive:jaccard``,
-        ``surrogate:h8,s3+adaptive:svd``.
+        ``surrogate:h8,s3+adaptive:svd``, ``surrogate:gcn,h8``.
 
         Each axis may be set at most once: ``surrogate+surrogate:h8`` (or
         ``white_box+surrogate``, ``oblivious+adaptive:jaccard``) is
@@ -389,10 +432,19 @@ class ThreatModel(_FieldSpec):
                         fields["surrogate_hidden"] = int(token[1:])
                     elif token[0] == "s" and token[1:].isdigit():
                         fields["surrogate_seed"] = int(token[1:])
+                    elif token.isidentifier() and token not in ("h", "s"):
+                        # A bare "h" or "s" is a malformed hidden/seed
+                        # token, not an architecture name.
+                        if "surrogate_arch" in fields:
+                            raise ValueError(
+                                f"duplicate surrogate arch token {token!r} "
+                                f"in threat {text!r}"
+                            )
+                        fields["surrogate_arch"] = token
                     else:
                         raise ValueError(
                             f"bad surrogate token {token!r} in threat {text!r}"
-                            " (expected h<int> or s<int>)"
+                            " (expected an arch name, h<int> or s<int>)"
                         )
             elif head in ("adaptive", "preprocess_aware") and arg:
                 claim("adaptivity", part)

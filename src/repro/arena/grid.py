@@ -1,7 +1,8 @@
 """Declarative scenario grids and canonical content-addressed cell keys.
 
-A :class:`ScenarioGrid` spans the arena's seven axes — dataset × model
-(hidden width) × attack × defense × budget × seed × threat model.  The
+A :class:`ScenarioGrid` spans the arena's eight axes — dataset × model
+(hidden width) × architecture × attack × defense × budget × seed × threat
+model.  The
 defense axis is evaluation-only for *oblivious* threats: such attacks
 never see the defense, so the unit of *execution* (and of storage) is the
 defense-free :class:`ScenarioCell` plus one victim.  A
@@ -61,7 +62,8 @@ class ScenarioCell:
     ``threat`` defaults to the historical white-box oblivious setting, so
     every pre-threat-axis construction site (and every stored key) is
     untouched; non-default threats change the execution — and therefore
-    the content key.
+    the content key.  ``arch`` works the same way: the default ``"gcn"``
+    is invisible in labels and keys, any other architecture enters both.
     """
 
     dataset: str
@@ -70,10 +72,12 @@ class ScenarioCell:
     budget_cap: int
     seed: int
     threat: ThreatModel = field(default_factory=ThreatModel)
+    arch: str = "gcn"
 
     def label(self):
+        arch = "" if self.arch == "gcn" else f"/{self.arch}"
         base = (
-            f"{self.dataset}/h{self.hidden}/{self.attack}"
+            f"{self.dataset}/h{self.hidden}{arch}/{self.attack}"
             f"/Δ{self.budget_cap}/s{self.seed}"
         )
         if self.threat.is_default:
@@ -99,6 +103,8 @@ class ScenarioGrid:
     #: Threat-model axis; entries may be :class:`ThreatModel` instances or
     #: CLI-grammar strings (``"surrogate"``, ``"adaptive:jaccard"``, …).
     threats: tuple = (ThreatModel(),)
+    #: Victim-architecture axis (:data:`repro.nn.ARCHITECTURES` names).
+    archs: tuple = ("gcn",)
 
     def __post_init__(self):
         for axis in (
@@ -108,6 +114,7 @@ class ScenarioGrid:
             "defenses",
             "budget_caps",
             "seeds",
+            "archs",
         ):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         object.__setattr__(
@@ -119,9 +126,12 @@ class ScenarioGrid:
     def cells(self):
         """All execution cells in deterministic enumeration order."""
         return [
-            ScenarioCell(dataset, hidden, attack, budget_cap, seed, threat)
+            ScenarioCell(
+                dataset, hidden, attack, budget_cap, seed, threat, arch
+            )
             for dataset in self.datasets
             for hidden in self.hidden_dims
+            for arch in self.archs
             for attack in self.attacks
             for budget_cap in self.budget_caps
             for seed in self.seeds
@@ -133,6 +143,7 @@ class ScenarioGrid:
         return (
             len(self.datasets)
             * len(self.hidden_dims)
+            * len(self.archs)
             * len(self.attacks)
             * len(self.budget_caps)
             * len(self.seeds)

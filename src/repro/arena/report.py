@@ -43,12 +43,17 @@ def _grid_threats(grid):
     return tuple(getattr(grid, "threats", ())) or (ThreatModel(),)
 
 
-def matrix_cells(run, attack, defense, threat=None):
+def _grid_archs(grid):
+    return tuple(getattr(grid, "archs", ())) or ("gcn",)
+
+
+def matrix_cells(run, attack, defense, threat=None, arch=None):
     """All evaluations of one (attack, defense) pair across the grid.
 
-    ``threat`` restricts to cells executed under that threat model;
-    ``None`` aggregates across the whole threat axis (the historical
-    behavior, exact for single-threat grids).
+    ``threat`` restricts to cells executed under that threat model and
+    ``arch`` to cells with that victim architecture; ``None`` aggregates
+    across the respective axis (the historical behavior, exact for
+    single-threat / single-arch grids).
     """
     return [
         evaluation
@@ -56,16 +61,19 @@ def matrix_cells(run, attack, defense, threat=None):
         if evaluation.cell.attack == attack
         and evaluation.defense == defense
         and (threat is None or evaluation.cell.threat == threat)
+        and (arch is None or getattr(evaluation.cell, "arch", "gcn") == arch)
     ]
 
 
-def arena_matrix(run, metric, threat=None):
+def arena_matrix(run, metric, threat=None, arch=None):
     """``{attack: {defense: mean metric}}`` over datasets/budgets/seeds."""
     return {
         attack: {
             defense: finite_mean(
                 getattr(evaluation, metric)
-                for evaluation in matrix_cells(run, attack, defense, threat)
+                for evaluation in matrix_cells(
+                    run, attack, defense, threat, arch
+                )
             )
             for defense in run.grid.defenses
         }
@@ -84,8 +92,8 @@ def _render_rows(run, values, fmt="{:.3f}"):
     return rows
 
 
-def _format_matrix(run, metric, title, threat=None):
-    values = arena_matrix(run, metric, threat)
+def _format_matrix(run, metric, title, threat=None, arch=None):
+    values = arena_matrix(run, metric, threat, arch)
     return format_table(
         ["Attack"] + list(run.grid.defenses),
         _render_rows(run, values),
@@ -93,10 +101,10 @@ def _format_matrix(run, metric, title, threat=None):
     )
 
 
-def _format_delta(run, minuend, subtrahend, title):
+def _format_delta(run, minuend, subtrahend, title, arch=None):
     """Matrix of ``evasion(minuend threat) − evasion(subtrahend threat)``."""
-    top = arena_matrix(run, "evasion_rate", minuend)
-    bottom = arena_matrix(run, "evasion_rate", subtrahend)
+    top = arena_matrix(run, "evasion_rate", minuend, arch)
+    bottom = arena_matrix(run, "evasion_rate", subtrahend, arch)
     values = {
         attack: {
             defense: top[attack][defense] - bottom[attack][defense]
@@ -111,7 +119,7 @@ def _format_delta(run, minuend, subtrahend, title):
     )
 
 
-def _threat_trio(run, scope, threat=None, tag=""):
+def _threat_trio(run, scope, threat=None, tag="", arch=None):
     return [
         _format_matrix(
             run,
@@ -119,6 +127,7 @@ def _threat_trio(run, scope, threat=None, tag=""):
             "Evasion rate (victims still misclassified under defense) — "
             f"{scope}{tag}",
             threat,
+            arch,
         ),
         _format_matrix(
             run,
@@ -126,40 +135,39 @@ def _threat_trio(run, scope, threat=None, tag=""):
             "Inspection evasion rate (attacked victims the defense fails "
             f"to flag) — {scope}{tag}",
             threat,
+            arch,
         ),
         _format_matrix(
             run,
             "detection_auc",
             f"Detection AUC (defense flags, attacked vs clean) — {scope}{tag}",
             threat,
+            arch,
         ),
     ]
 
 
-def render_arena_matrices(run):
-    """Every matrix as one deterministic text block.
+def _arch_blocks(run, scope, arch=None, arch_tag=""):
+    """The per-threat trio (plus twin deltas) for one victim architecture.
 
-    Single-threat grids (the historical shape) render exactly the
-    three-matrix block they always did; multi-threat grids render the trio
-    per threat model plus the transfer-gap / adaptive-delta matrices for
-    every threat whose twin is on the grid.
+    ``arch=None`` aggregates over the whole arch axis — the historical
+    single-arch rendering, byte-identical for default grids.
     """
-    grid = run.grid
-    scope = (
-        f"datasets={','.join(grid.datasets)} "
-        f"hidden={','.join(str(h) for h in grid.hidden_dims)} "
-        f"budgets={','.join(str(b) for b in grid.budget_caps)} "
-        f"seeds={','.join(str(s) for s in grid.seeds)}"
-    )
-    threats = _grid_threats(grid)
+    threats = _grid_threats(run.grid)
     if len(threats) == 1:
         tag = "" if threats[0].is_default else f" threat={threats[0].label()}"
-        return "\n\n".join(_threat_trio(run, scope, tag=tag))
+        return _threat_trio(run, scope, tag=tag + arch_tag, arch=arch)
 
     blocks = []
     for threat in threats:
         blocks.extend(
-            _threat_trio(run, scope, threat, tag=f" threat={threat.label()}")
+            _threat_trio(
+                run,
+                scope,
+                threat,
+                tag=f" threat={threat.label()}{arch_tag}",
+                arch=arch,
+            )
         )
     for threat in threats:
         if threat.is_surrogate and threat.white_box_twin() in threats:
@@ -169,7 +177,8 @@ def render_arena_matrices(run):
                     threat.white_box_twin(),
                     threat,
                     "Surrogate transfer gap (white-box evasion − surrogate "
-                    f"evasion) — {scope} threat={threat.label()}",
+                    f"evasion) — {scope} threat={threat.label()}{arch_tag}",
+                    arch,
                 )
             )
         if threat.is_adaptive and threat.oblivious_twin() in threats:
@@ -179,7 +188,36 @@ def render_arena_matrices(run):
                     threat,
                     threat.oblivious_twin(),
                     "Adaptive evasion delta (preprocess-aware − oblivious) — "
-                    f"{scope} threat={threat.label()}",
+                    f"{scope} threat={threat.label()}{arch_tag}",
+                    arch,
                 )
             )
+    return blocks
+
+
+def render_arena_matrices(run):
+    """Every matrix as one deterministic text block.
+
+    Single-threat grids (the historical shape) render exactly the
+    three-matrix block they always did; multi-threat grids render the trio
+    per threat model plus the transfer-gap / adaptive-delta matrices for
+    every threat whose twin is on the grid.  Multi-arch grids repeat the
+    whole per-threat block once per victim architecture (tagged
+    ``arch=...``) instead of silently averaging across architectures.
+    """
+    grid = run.grid
+    scope = (
+        f"datasets={','.join(grid.datasets)} "
+        f"hidden={','.join(str(h) for h in grid.hidden_dims)} "
+        f"budgets={','.join(str(b) for b in grid.budget_caps)} "
+        f"seeds={','.join(str(s) for s in grid.seeds)}"
+    )
+    archs = _grid_archs(grid)
+    if len(archs) == 1:
+        arch_tag = "" if archs[0] == "gcn" else f" arch={archs[0]}"
+        return "\n\n".join(_arch_blocks(run, scope, arch_tag=arch_tag))
+
+    blocks = []
+    for arch in archs:
+        blocks.extend(_arch_blocks(run, scope, arch, f" arch={arch}"))
     return "\n\n".join(blocks)

@@ -19,7 +19,7 @@ from repro.autodiff.tensor import Tensor, no_grad
 from repro.attacks.locality import build_locality_scene
 from repro.nn.layers import adjacency_matmul
 from repro.graph.utils import (
-    cached_normalized_adjacency,
+    cached_model_operator,
     edge_tuple,
     graph_cached,
     normalize_adjacency_tensor,
@@ -31,13 +31,31 @@ __all__ = [
     "AttackResult",
     "Attack",
     "DenseGCNForward",
+    "DenseModelForward",
     "CandidatePolicy",
     "SPEC_SEED_OFFSET",
     "VictimSpec",
     "candidate_nodes",
     "coerce_victim",
     "record_trace",
+    "resolve_attack_backend",
 ]
+
+
+def resolve_attack_backend(model, backend):
+    """The compute backend for attacking ``model``.
+
+    The sparse CSR attack handles hard-code the symmetric GCN
+    normalization (fused renormalize + propagate kernels), so any other
+    architecture's attack math runs on the dense path: a sparse selection
+    is downgraded — counted as ``backend.arch_dense_fallback`` — instead
+    of silently producing wrong operators.
+    """
+    resolved = get_backend(backend)
+    if resolved.is_sparse and getattr(model, "arch", "gcn") != "gcn":
+        metrics.incr("backend.arch_dense_fallback")
+        return get_backend("dense")
+    return resolved
 
 #: Seed convention every runner uses when building attacks from specs:
 #: ``attack_seed = case.seed + SPEC_SEED_OFFSET`` (historically 21 in both
@@ -341,6 +359,88 @@ class DenseGCNForward:
             normalize_adjacency_tensor(adjacency, degree_offset=self.degree_offset)
         )
 
+    def hidden_from_raw(self, adjacency):
+        """First-layer embeddings from a raw dense adjacency leaf.
+
+        Normalizes under this forward's ``degree_offset`` convention and
+        stops after the first layer's ReLU — GEAttack's embedding input.
+        """
+        normalized = normalize_adjacency_tensor(
+            adjacency, degree_offset=self.degree_offset
+        )
+        hidden = ops.matmul(normalized, self.first_support)
+        if self.first_bias is not None:
+            hidden = hidden + self.first_bias
+        return ops.relu(hidden)
+
+    def local_logits(self, adjacency, sub_nodes):
+        """Logits on a raw *local* adjacency over ``sub_nodes`` of the view.
+
+        The inner-explainer path: ``adjacency`` is a small masked k-hop
+        slice (its own closed world — normalized fresh, no boundary
+        offset) and ``sub_nodes`` selects the matching rows of the
+        precomputed first support.
+        """
+        normalized = normalize_adjacency_tensor(adjacency)
+        support = self.first_support[sub_nodes]
+        hidden = ops.matmul(normalized, support)
+        if self.first_bias is not None:
+            hidden = hidden + self.first_bias
+        hidden = ops.relu(hidden)
+        out = ops.matmul(normalized, ops.matmul(hidden, self.second_weight))
+        if self.second_bias is not None:
+            out = out + self.second_bias
+        return out
+
+
+class DenseModelForward:
+    """Architecture-generic differentiable forward under a dense adjacency.
+
+    The model-zoo counterpart of :class:`DenseGCNForward`: no precomputed
+    feature support (non-GCN layers mix features nonlinearly with the
+    operator), just the model's own ``normalize_tensor`` + forward pass.
+    Call signature matches ``model(adjacency, features)`` so it stands in
+    for the model inside ``explainer_loss`` the same way.
+    """
+
+    def __init__(self, model, features, degree_offset=None):
+        model.eval()
+        self.model = model
+        self.features = Tensor(np.asarray(features, dtype=np.float64))
+        self.num_classes = int(model.num_classes)
+        #: Constant per-node degree correction for subgraph execution.
+        self.degree_offset = degree_offset
+
+    def __call__(self, operator, features=None):
+        """Logits under an already-prepared (model-specific) operator."""
+        features = self.features if features is None else features
+        return self.model(operator, features)
+
+    def normalize_tensor(self, adjacency, self_loops=True, degree_offset=None):
+        """The wrapped model's differentiable operator (explainer dispatch)."""
+        return self.model.normalize_tensor(
+            adjacency, self_loops=self_loops, degree_offset=degree_offset
+        )
+
+    def logits_from_raw(self, adjacency):
+        """Logits from a raw adjacency leaf via the model's own operator."""
+        normalized = self.model.normalize_tensor(
+            adjacency, degree_offset=self.degree_offset
+        )
+        return self(normalized)
+
+    def hidden_from_raw(self, adjacency):
+        """First-layer embeddings from a raw dense adjacency leaf."""
+        normalized = self.model.normalize_tensor(
+            adjacency, degree_offset=self.degree_offset
+        )
+        return self.model.hidden_representation(normalized, self.features)
+
+    def local_logits(self, adjacency, sub_nodes):
+        """Logits on a raw *local* adjacency over ``sub_nodes`` of the view."""
+        normalized = self.model.normalize_tensor(adjacency)
+        return self.model(normalized, self.features[sub_nodes])
+
 
 class Attack:
     """Base class: holds the frozen model and common evaluation helpers.
@@ -378,8 +478,9 @@ class Attack:
         #: default, sparse CSR when selected via ``REPRO_BACKEND`` or the
         #: ``backend=`` parameter threaded through ``Session``/
         #: ``build_attack``.  Attacks without a sparse kernel simply
-        #: ignore it and run the dense path.
-        self.backend = get_backend(backend)
+        #: ignore it and run the dense path; non-GCN victims force dense
+        #: (see :func:`resolve_attack_backend`).
+        self.backend = resolve_attack_backend(model, backend)
 
     # -- spec protocol -------------------------------------------------------
     @classmethod
@@ -489,7 +590,17 @@ class Attack:
     def build_locality_scene(
         self, graph, target_node, target_label, max_subgraph_fraction=0.9
     ):
-        """Locality scene for one victim, or ``None`` (full-graph path)."""
+        """Locality scene for one victim, or ``None`` (full-graph path).
+
+        Architectures whose layers declare ``exact_locality = False``
+        (GAT: attention coefficients are not degree-offset constants) take
+        the declared fallback — full-graph execution, counted as
+        ``locality.arch_fallback`` so tests can assert the path is taken
+        rather than silently approximated.
+        """
+        if not getattr(self.model, "exact_locality", True):
+            metrics.incr("locality.arch_fallback")
+            return None
         endpoints = self._locality_endpoints(graph, target_node, target_label)
         if endpoints is None:
             return None
@@ -534,7 +645,7 @@ class Attack:
         """
 
         def compute():
-            normalized = cached_normalized_adjacency(graph)
+            normalized = cached_model_operator(graph, self.model)
             with no_grad():
                 logits = self.model(normalized, Tensor(graph.features))
             # Pin the model in the cached value so its id key can never be
@@ -552,17 +663,24 @@ class Attack:
         )
 
     def _scene_forward(self, scene, view):
-        """Per-view :class:`DenseGCNForward`, memoized on the feature slice.
+        """Per-view dense forward, memoized on the feature slice.
 
         On the full graph the features never change, so the precomputed
         ``X @ W₁`` is shared across all greedy steps; a locality view slices
         fresh features per step and carries its own boundary degree deficit.
+        GCN victims get the specialized :class:`DenseGCNForward`; other
+        architectures the generic :class:`DenseModelForward`.
         """
+        forward_cls = (
+            DenseGCNForward
+            if getattr(self.model, "arch", "gcn") == "gcn"
+            else DenseModelForward
+        )
         features, forward = scene.memo(
             ("dense-forward", id(view.graph.features)),
             lambda: (
                 view.graph.features,  # pin the array so the id key stays unique
-                DenseGCNForward(
+                forward_cls(
                     self.model,
                     view.graph.features,
                     degree_offset=view.raw_degree_offset,

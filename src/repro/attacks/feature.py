@@ -40,7 +40,7 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad
 from repro.explain.gnn_explainer import explainer_loss
 from repro.graph import Graph
-from repro.graph.utils import cached_normalized_adjacency, k_hop_subgraph
+from repro.graph.utils import cached_model_operator, k_hop_subgraph
 
 __all__ = ["FeatureAttackResult", "FeatureFGA", "GEFAttack"]
 
@@ -104,7 +104,7 @@ class FeatureAttackBase(Attack):
 
     def feature_gradient(self, graph, target_node, target_label, extra_loss=None):
         """∇_X ℓ at the victim's row (plus an optional differentiable term)."""
-        normalized = cached_normalized_adjacency(graph)
+        normalized = cached_model_operator(graph, self.model)
         features = Tensor(graph.features, requires_grad=True)
         logits = self.model(normalized, features)
         loss = F.cross_entropy(
@@ -286,7 +286,7 @@ class GEFAttack(FeatureAttackBase):
         the attack loss and indirectly via the explainer's simulated
         feature-mask trajectory.
         """
-        normalized = cached_normalized_adjacency(perturbed)
+        normalized = cached_model_operator(perturbed, self.model)
         features = Tensor(perturbed.features, requires_grad=True)
         logits = self.model(normalized, features)
         attack_term = F.cross_entropy(

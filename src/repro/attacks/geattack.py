@@ -531,18 +531,15 @@ class GEAttackPG(Attack):
 
     # -- internals ---------------------------------------------------------
     def _embeddings(self, forward, adjacency):
-        """First-layer GCN embeddings, differentiable w.r.t. ``adjacency``.
+        """First-layer embeddings, differentiable w.r.t. ``adjacency``.
 
         ``forward.degree_offset`` restores boundary degrees on a locality
         view, so rows whose neighborhoods the view induces are exact.
+        Delegates to the forward object's ``hidden_from_raw`` — the
+        specialized precomputed-support path on GCN victims, the model's
+        own layers elsewhere.
         """
-        normalized = normalize_adjacency_tensor(
-            adjacency, degree_offset=forward.degree_offset
-        )
-        hidden = ops.matmul(normalized, forward.first_support)
-        if forward.first_bias is not None:
-            hidden = hidden + forward.first_bias
-        return ops.relu(hidden)
+        return forward.hidden_from_raw(adjacency)
 
     def _edge_inputs(self, embeddings, rows, cols, target_node):
         """``[z_u ; z_v ; z_target]`` rows with canonical u < v ordering."""
@@ -651,9 +648,10 @@ class GEAttackPG(Attack):
     ):
         """PGExplainer's instance objective at the victim (differentiable).
 
-        A subgraph-local GCN forward under the masked adjacency; the
-        precomputed first-layer support is sliced to the subgraph rows, so
-        no full-feature product is repeated inside the unroll.
+        A subgraph-local model forward under the masked adjacency via the
+        forward object's ``local_logits`` (on GCN victims the precomputed
+        first-layer support is sliced to the subgraph rows, so no
+        full-feature product is repeated inside the unroll).
         """
         size = int(sub_nodes.size)
         edge_values = adjacency[(rows_global, cols_global)] * mask
@@ -661,16 +659,7 @@ class GEAttackPG(Attack):
         both_cols = np.concatenate([cols_local, rows_local])
         doubled = ops.concatenate([edge_values, edge_values], axis=0)
         masked = ops.scatter_add((size, size), (both_rows, both_cols), doubled)
-        normalized = normalize_adjacency_tensor(masked)
-
-        support = forward.first_support[sub_nodes]
-        hidden = ops.matmul(normalized, support)
-        if forward.first_bias is not None:
-            hidden = hidden + forward.first_bias
-        hidden = ops.relu(hidden)
-        out = ops.matmul(normalized, ops.matmul(hidden, forward.second_weight))
-        if forward.second_bias is not None:
-            out = out + forward.second_bias
+        out = forward.local_logits(masked, sub_nodes)
 
         loss = F.cross_entropy(
             ops.reshape(out[int(local)], (1, out.shape[1])),

@@ -132,7 +132,7 @@ class Nettack(Attack):
         enforce_degree_test=True,
     ):
         super().__init__(model, seed=seed, candidate_policy=candidate_policy)
-        self.surrogate = surrogate or LinearizedGCN.from_gcn(model)
+        self.surrogate = surrogate or LinearizedGCN.from_model(model)
         self.screen_size = int(screen_size)
         self.enforce_degree_test = bool(enforce_degree_test)
 

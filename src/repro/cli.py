@@ -127,16 +127,23 @@ def build_parser():
         "--seeds", default="0", help="comma-separated seed axis"
     )
     arena.add_argument(
+        "--archs",
+        default="gcn",
+        help="comma-separated victim-architecture axis (registered "
+        "architectures: gcn, gat, sage, gin; default: gcn)",
+    )
+    arena.add_argument(
         "--threat",
         action="append",
         dest="threats",
         metavar="THREAT",
         help="threat-model axis entry (repeatable; default: the historical "
         "white_box+oblivious).  Grammar: 'white_box', 'oblivious', "
-        "'surrogate[:h<H>,s<S>]' (attacker only holds an independently "
-        "trained GCN), 'adaptive:<defense>' (attacker optimizes through "
+        "'surrogate[:<arch>,h<H>,s<S>]' (attacker only holds an "
+        "independently trained model, optionally of another registered "
+        "architecture), 'adaptive:<defense>' (attacker optimizes through "
         "that defense's sanitization), joined with '+', e.g. "
-        "'surrogate:h8+adaptive:jaccard'",
+        "'surrogate:h8+adaptive:jaccard' or 'surrogate:gcn'",
     )
     arena.add_argument(
         "--store",
@@ -422,6 +429,26 @@ def _arena(session, args):
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}")
+    # Same convention for the architecture axis: validate at submit time,
+    # before any training has burned compute.
+    from repro.nn import ARCHITECTURES
+
+    archs = tuple(a.strip() for a in args.archs.split(",") if a.strip())
+    for arch in archs:
+        if arch not in ARCHITECTURES:
+            raise SystemExit(
+                f"error: unknown architecture {arch!r}; "
+                f"options: {sorted(ARCHITECTURES)}"
+            )
+    for threat in threats:
+        if (
+            threat.surrogate_arch is not None
+            and threat.surrogate_arch not in ARCHITECTURES
+        ):
+            raise SystemExit(
+                f"error: unknown surrogate architecture "
+                f"{threat.surrogate_arch!r}; options: {sorted(ARCHITECTURES)}"
+            )
     grid = ScenarioGrid(
         datasets=tuple(args.dataset or ("cora",)),
         attacks=tuple(args.attacks.split(",")),
@@ -429,6 +456,7 @@ def _arena(session, args):
         budget_caps=tuple(int(b) for b in args.budgets.split(",")),
         seeds=tuple(int(s) for s in args.seeds.split(",")),
         threats=threats,
+        archs=archs or ("gcn",),
     )
     store = ResultStore(args.store)
     run = session.arena(grid, store, progress=print, fresh=args.fresh)

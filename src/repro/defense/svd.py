@@ -71,9 +71,10 @@ class SVDDefense(Defense):
         self.energy_threshold = float(energy_threshold)
 
     def purified_operator(self, graph):
-        """The normalized low-rank adjacency the defended GCN runs on."""
+        """The defended model's operator over the low-rank adjacency."""
         purified = self._low_rank(graph)
-        return normalize_adjacency(sp.csr_matrix(purified))
+        normalize = getattr(self.model, "normalize", normalize_adjacency)
+        return normalize(sp.csr_matrix(purified))
 
     def predict(self, graph, node=None):
         """Model predictions under the purified operator.

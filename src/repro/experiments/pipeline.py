@@ -23,13 +23,12 @@ from repro.attacks import FGA, VictimSpec
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.datasets import load_dataset, random_split
 from repro.experiments.reporting import summarize_reports
-from repro.graph import normalize_adjacency
 from repro.metrics import (
     attack_success_rate,
     attack_success_rate_targeted,
     prediction_margin,
 )
-from repro.nn import GCN, train_node_classifier
+from repro.nn import build_model, train_node_classifier
 from repro.obs import metrics
 from repro.parallel import parallel_map
 
@@ -61,6 +60,10 @@ class PreparedCase:
     #: into ``build_attack`` (``None`` = defer to ``REPRO_BACKEND``).  An
     #: execution detail: never part of store keys or result payloads.
     backend: object = None
+    #: Victim architecture (:data:`repro.nn.ARCHITECTURES` name).  The
+    #: default ``"gcn"`` is the historical setting and stays invisible in
+    #: store keys (see :class:`repro.api.specs.ModelSpec`).
+    arch: str = "gcn"
 
 
 @dataclass(frozen=True)
@@ -101,22 +104,31 @@ class MethodEvaluation:
         }
 
 
-def prepare_case(dataset_name, config, seed=None, backend=None):
-    """Generate the dataset, train the GCN, cache clean predictions.
+def prepare_case(dataset_name, config, seed=None, backend=None, arch="gcn"):
+    """Generate the dataset, train the victim, cache clean predictions.
 
     ``backend`` is carried on the returned case for attack construction
-    (see :class:`PreparedCase`); training itself always runs the constant
-    scipy sparse path and is backend-independent.
+    (see :class:`PreparedCase`); training itself always runs the model's
+    constant operator and is backend-independent.  ``arch`` selects the
+    victim architecture (:func:`repro.nn.build_model`); the default
+    ``"gcn"`` reproduces the historical pipeline byte-for-byte (same RNG
+    consumption, same operator).
     """
     seed = config.seed if seed is None else int(seed)
+    arch = "gcn" if arch is None else str(arch)
     with metrics.time_phase("case_prep"):
         graph = load_dataset(dataset_name, scale=config.dataset_scale, seed=seed)
         split = random_split(graph.num_nodes, seed=seed + 1)
         rng = np.random.default_rng(seed + 2)
-        model = GCN(
-            graph.num_features, config.hidden, graph.num_classes, rng, config.dropout
+        model = build_model(
+            arch,
+            graph.num_features,
+            config.hidden,
+            graph.num_classes,
+            rng,
+            config.dropout,
         )
-        normalized = normalize_adjacency(graph.adjacency)
+        normalized = model.normalize(graph.adjacency)
         result = train_node_classifier(
             model,
             normalized,
@@ -143,6 +155,7 @@ def prepare_case(dataset_name, config, seed=None, backend=None):
         config=config,
         seed=seed,
         backend=backend,
+        arch=arch,
     )
 
 

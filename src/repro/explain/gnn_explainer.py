@@ -22,7 +22,7 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad, no_grad
 from repro.explain.base import BaseExplainer, Explanation
 from repro.graph.utils import (
-    cached_normalized_adjacency,
+    cached_model_operator,
     edge_tuple,
     k_hop_subgraph,
     normalize_adjacency_tensor,
@@ -65,7 +65,11 @@ def explainer_loss(
     """
     probability = symmetric_mask_probability(mask)
     masked = adjacency * probability
-    normalized = normalize_adjacency_tensor(masked, degree_offset=degree_offset)
+    # Non-GCN victims (and their forward stand-ins) carry their own
+    # differentiable operator; everything else keeps the symmetric GCN
+    # normalization byte-for-byte.
+    normalize = getattr(model, "normalize_tensor", normalize_adjacency_tensor)
+    normalized = normalize(masked, degree_offset=degree_offset)
     if feature_mask is not None:
         if features is None:
             raise ValueError("feature_mask requires explicit features")
@@ -136,7 +140,7 @@ class GNNExplainer(BaseExplainer):
             # Memoized per graph: repeated explanations of one perturbed
             # graph (and the attacks' own prediction queries) share the
             # normalization — identical floats to the direct computation.
-            normalized = cached_normalized_adjacency(graph)
+            normalized = cached_model_operator(graph, model)
             with no_grad():
                 logits = model(normalized, Tensor(graph.features))
             label = int(np.argmax(logits.data[int(node)]))

@@ -76,7 +76,8 @@ class OcclusionExplainer(BaseExplainer):
 
     def _probabilities(self, adjacency, features, local):
         """Softmax output row of the explained node under ``adjacency``."""
-        normalized = normalize_adjacency(adjacency)
+        normalize = getattr(self.model, "normalize", normalize_adjacency)
+        normalized = normalize(adjacency)
         with no_grad():
             logits = self.model(normalized, features).data[int(local)]
         shifted = np.exp(logits - logits.max())

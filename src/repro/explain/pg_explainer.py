@@ -21,7 +21,7 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, grad, no_grad
 from repro.explain.base import BaseExplainer, Explanation
 from repro.graph.utils import (
-    cached_normalized_adjacency,
+    cached_model_operator,
     edge_tuple,
     k_hop_subgraph,
     normalize_adjacency_tensor,
@@ -95,7 +95,7 @@ class PGExplainer(BaseExplainer):
         self.entropy_coefficient = float(entropy_coefficient)
         self.seed = int(seed)
         self._rng = np.random.default_rng(seed)
-        embed_dim = model.conv1.weight.shape[1]
+        embed_dim = model.embedding_dim
         input_dim = 3 * embed_dim
         self.weights = [
             Parameter(init.glorot_uniform(self._rng, input_dim, self.hidden)),
@@ -116,8 +116,8 @@ class PGExplainer(BaseExplainer):
         return [Tensor(w.data.copy(), requires_grad=True) for w in self.weights]
 
     def node_embeddings(self, graph):
-        """Constant first-layer GCN embeddings of every node of ``graph``."""
-        normalized = cached_normalized_adjacency(graph)
+        """Constant first-layer embeddings of every node of ``graph``."""
+        normalized = cached_model_operator(graph, self.model)
         with no_grad():
             hidden = self.model.hidden_representation(
                 normalized, Tensor(graph.features)
@@ -153,7 +153,7 @@ class PGExplainer(BaseExplainer):
             nodes = self._rng.choice(eligible, size=count, replace=False)
         nodes = [int(v) for v in np.asarray(nodes).ravel()]
 
-        normalized = cached_normalized_adjacency(graph)
+        normalized = cached_model_operator(graph, self.model)
         with no_grad():
             full_logits = self.model(normalized, Tensor(graph.features))
         predictions = full_logits.data.argmax(axis=1)
@@ -200,7 +200,10 @@ class PGExplainer(BaseExplainer):
         masked = masked_adjacency_from_edge_weights(
             subgraph.num_nodes, rows, cols, mask
         )
-        normalized = normalize_adjacency_tensor(masked)
+        normalize = getattr(
+            self.model, "normalize_tensor", normalize_adjacency_tensor
+        )
+        normalized = normalize(masked)
         model_logits = self.model(normalized, Tensor(subgraph.features))
         loss = F.cross_entropy(
             ops.reshape(model_logits[local], (1, model_logits.shape[1])),
@@ -227,7 +230,7 @@ class PGExplainer(BaseExplainer):
             raise RuntimeError("call fit() before explain_node()")
         self.model.eval()
         if label is None:
-            normalized = cached_normalized_adjacency(graph)
+            normalized = cached_model_operator(graph, self.model)
             with no_grad():
                 logits = self.model(normalized, Tensor(graph.features))
             label = int(logits.data[int(node)].argmax())

@@ -62,16 +62,18 @@ class GradExplainer(BaseExplainer):
         model.eval()
         node = int(node)
         if label is None:
-            normalized = normalize_adjacency(graph.adjacency)
+            normalize = getattr(model, "normalize", normalize_adjacency)
+            normalized = normalize(graph.adjacency)
             with no_grad():
                 logits = model(normalized, Tensor(graph.features))
             label = int(np.argmax(logits.data[node]))
 
         subgraph, nodes, local = k_hop_subgraph(graph, node, self.hops)
         adjacency = Tensor(subgraph.dense_adjacency(), requires_grad=True)
-        logits = model(
-            normalize_adjacency_tensor(adjacency), Tensor(subgraph.features)
+        normalize_tensor = getattr(
+            model, "normalize_tensor", normalize_adjacency_tensor
         )
+        logits = model(normalize_tensor(adjacency), Tensor(subgraph.features))
         loss = F.cross_entropy(
             ops.reshape(logits[local], (1, logits.shape[1])),
             np.array([int(label)]),

@@ -13,10 +13,12 @@ from repro.graph.utils import (
     k_hop_nodes,
     k_hop_reach,
     k_hop_subgraph,
+    cached_model_operator,
     normalize_adjacency,
     normalize_adjacency_tensor,
     reset_graph_cache,
     row_normalize_adjacency,
+    row_normalize_adjacency_tensor,
 )
 
 __all__ = [
@@ -32,8 +34,10 @@ __all__ = [
     "k_hop_nodes",
     "k_hop_reach",
     "k_hop_subgraph",
+    "cached_model_operator",
     "normalize_adjacency",
     "normalize_adjacency_tensor",
     "reset_graph_cache",
     "row_normalize_adjacency",
+    "row_normalize_adjacency_tensor",
 ]

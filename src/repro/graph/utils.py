@@ -38,6 +38,7 @@ __all__ = [
     "normalize_adjacency",
     "normalize_adjacency_tensor",
     "row_normalize_adjacency",
+    "row_normalize_adjacency_tensor",
     "k_hop_nodes",
     "k_hop_reach",
     "k_hop_subgraph",
@@ -45,6 +46,7 @@ __all__ = [
     "edges_to_mask_index",
     "graph_cached",
     "cached_normalized_adjacency",
+    "cached_model_operator",
     "cached_degrees",
     "cached_k_hop_nodes",
     "cached_reach",
@@ -93,16 +95,42 @@ def normalize_adjacency_tensor(adjacency, self_loops=True, degree_offset=None):
     return adjacency * row * col
 
 
-def row_normalize_adjacency(adjacency, self_loops=True):
-    """Row-stochastic normalization ``D̃^{-1}(A+I)`` (mean aggregator)."""
+def row_normalize_adjacency(adjacency, self_loops=True, degree_offset=None):
+    """Row-stochastic normalization ``D̃^{-1}(A+I)`` (mean aggregator).
+
+    ``degree_offset`` adds a constant per-node term to the degrees before
+    inversion — the same subgraph boundary correction as
+    :func:`normalize_adjacency`.  Row normalization only reads a node's
+    *own* degree, so a view whose read rows have complete in-scene
+    neighborhoods needs no offset at all (offset 0 everywhere).
+    """
     adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
     if self_loops:
         adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
     degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    if degree_offset is not None:
+        degrees = degrees + np.asarray(degree_offset, dtype=np.float64)
     with np.errstate(divide="ignore"):
         inverse = 1.0 / degrees
     inverse[~np.isfinite(inverse)] = 0.0
     return (sp.diags(inverse) @ adjacency).tocsr()
+
+
+def row_normalize_adjacency_tensor(adjacency, self_loops=True, degree_offset=None):
+    """Differentiable row-stochastic normalization of a dense adjacency.
+
+    The tensor counterpart of :func:`row_normalize_adjacency`: gradient
+    flows through both the edge entries and each row's degree term.
+    """
+    adjacency = astensor(adjacency)
+    n = adjacency.shape[0]
+    if self_loops:
+        adjacency = adjacency + Tensor(np.eye(n))
+    degrees = ops.tensor_sum(adjacency, axis=1)
+    if degree_offset is not None:
+        degrees = degrees + Tensor(np.asarray(degree_offset, dtype=np.float64))
+    inverse = ops.power(degrees, -1.0)
+    return adjacency * ops.reshape(inverse, (n, 1))
 
 
 def k_hop_nodes(adjacency, node, hops):
@@ -251,6 +279,25 @@ def cached_normalized_adjacency(graph, self_loops=True):
         graph,
         ("normalized-adjacency", bool(self_loops)),
         lambda: normalize_adjacency(graph.adjacency, self_loops=self_loops),
+    )
+
+
+def cached_model_operator(graph, model):
+    """Memoized evaluation operator of ``model`` on ``graph``.
+
+    The architecture-aware sibling of :func:`cached_normalized_adjacency`:
+    each model class declares its constant evaluation operator via
+    ``normalize`` (symmetric for GCN, row-stochastic for SAGE, raw for
+    GIN/GAT).  The default-GCN path routes through
+    :func:`cached_normalized_adjacency` so it shares the legacy cache
+    entry — same key, same bytes, no double normalization.
+    """
+    if getattr(model, "arch", "gcn") == "gcn":
+        return cached_normalized_adjacency(graph)
+    return graph_cached(
+        graph,
+        ("model-operator", model.arch),
+        lambda: model.normalize(graph.adjacency),
     )
 
 

@@ -3,13 +3,24 @@
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import (
     Dropout,
+    GATConv,
     GCNConv,
     Linear,
     ReLU,
     Sequential,
     adjacency_matmul,
+    leaky_relu,
 )
-from repro.nn.models import GCN, MLP, GraphSAGE, LinearizedGCN
+from repro.nn.models import (
+    ARCHITECTURES,
+    GAT,
+    GCN,
+    GIN,
+    MLP,
+    GraphSAGE,
+    LinearizedGCN,
+    build_model,
+)
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.trainer import TrainResult, accuracy, train_node_classifier
 from repro.nn import init
@@ -18,15 +29,21 @@ __all__ = [
     "Module",
     "Parameter",
     "Dropout",
+    "GATConv",
     "GCNConv",
     "Linear",
     "ReLU",
     "Sequential",
     "adjacency_matmul",
+    "leaky_relu",
+    "ARCHITECTURES",
+    "GAT",
     "GCN",
+    "GIN",
     "MLP",
     "GraphSAGE",
     "LinearizedGCN",
+    "build_model",
     "Adam",
     "Optimizer",
     "SGD",

@@ -20,7 +20,16 @@ from repro.autodiff.tensor import Tensor, astensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
-__all__ = ["adjacency_matmul", "Linear", "GCNConv", "Dropout", "Sequential", "ReLU"]
+__all__ = [
+    "adjacency_matmul",
+    "leaky_relu",
+    "Linear",
+    "GCNConv",
+    "GATConv",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+]
 
 
 def adjacency_matmul(adjacency, features):
@@ -82,6 +91,61 @@ class GCNConv(Module):
 
     def __repr__(self):
         return f"GCNConv({self.in_features}, {self.out_features})"
+
+
+def leaky_relu(x, slope=0.2):
+    """Leaky rectifier built from the primitive ops (GAT's score activation)."""
+    return ops.relu(x) - slope * ops.relu(ops.neg(x))
+
+
+class GATConv(Module):
+    """One single-head graph-attention layer (Veličković et al., ICLR 2018).
+
+    ``e_ij = LeakyReLU(a_src·Wx_i + a_dst·Wx_j)`` scored densely, then a
+    masked softmax over each row's gated entries::
+
+        α_ij = g_ij · exp(e_ij) / Σ_k g_ik · exp(e_ik)
+
+    where ``g = A + I`` is the (possibly differentiable) adjacency gate —
+    fractional gate values attenuate an edge's attention mass, so attack
+    gradients flow through both the scores and the gate.  The softmax is
+    stabilized with a *detached* per-row shift, which cancels exactly in
+    the ratio: values and gradients are identical to the unshifted form.
+
+    The attention coefficients are **not** degree-offset constants — a
+    subgraph view cannot reproduce full-graph attention rows whose
+    neighbors fall outside the scene — which is why :class:`~repro.nn.GAT`
+    declares ``exact_locality = False``.
+    """
+
+    def __init__(self, in_features, out_features, rng, slope=0.2):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.slope = float(slope)
+        self.linear = Linear(in_features, out_features, rng, bias=False)
+        self.att_src = Parameter(init.glorot_uniform(rng, out_features, 1))
+        self.att_dst = Parameter(init.glorot_uniform(rng, out_features, 1))
+        self.bias = Parameter(init.zeros(out_features))
+
+    def forward(self, gate, features):
+        """Attend over ``gate`` (dense ``A + I`` tensor) and aggregate."""
+        gate = astensor(gate)
+        n = gate.shape[0]
+        support = self.linear(features)
+        src = ops.matmul(support, self.att_src)
+        dst = ops.matmul(support, self.att_dst)
+        scores = leaky_relu(src + ops.transpose(dst), self.slope)
+        # Detached row-max: cancels in the softmax ratio (values and
+        # gradients unchanged) but keeps exp() in a safe range.
+        shift = Tensor(scores.data.max(axis=1, keepdims=True))
+        weights = gate * ops.exp(scores - shift)
+        denominator = ops.reshape(ops.tensor_sum(weights, axis=1), (n, 1))
+        attention = weights / denominator
+        return ops.matmul(attention, support) + self.bias
+
+    def __repr__(self):
+        return f"GATConv({self.in_features}, {self.out_features})"
 
 
 class Dropout(Module):

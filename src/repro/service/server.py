@@ -43,6 +43,7 @@ GRID_AXES = (
     "budget_caps",
     "seeds",
     "threats",
+    "archs",
 )
 
 #: SSE keep-alive cadence while a job is quiet (comment lines, ignored
@@ -106,6 +107,7 @@ def _grid_from_payload(payload, config):
             budget_cap=spec.budget_cap,
             seed=spec.seed,
             threat=spec.threat,
+            arch=spec.model.arch,
         )
         if cell_config(cell, config) != payload["scenario"]:
             raise _BadRequest(
@@ -122,6 +124,7 @@ def _grid_from_payload(payload, config):
             budget_caps=(cell.budget_cap,),
             seeds=(cell.seed,),
             threats=(cell.threat,),
+            archs=(cell.arch,),
         )
     raise _BadRequest('request body must contain "grid" or "scenario"')
 
@@ -135,6 +138,7 @@ def _validate_grid(grid):
     """
     from repro.attacks import ATTACKS, EXTENSION_ATTACKS
     from repro.defense import DEFENSES
+    from repro.nn import ARCHITECTURES
 
     known_attacks = {**ATTACKS, **EXTENSION_ATTACKS}
     for name in grid.attacks:
@@ -147,11 +151,25 @@ def _validate_grid(grid):
             raise _BadRequest(
                 f"unknown defense {name!r}; options: {sorted(DEFENSES)}"
             )
+    for arch in getattr(grid, "archs", ("gcn",)):
+        if arch not in ARCHITECTURES:
+            raise _BadRequest(
+                f"unknown architecture {arch!r}; "
+                f"options: {sorted(ARCHITECTURES)}"
+            )
     for threat in grid.threats:
         if threat.is_adaptive and threat.defense not in DEFENSES:
             raise _BadRequest(
                 f"unknown adapted defense {threat.defense!r}; "
                 f"options: {sorted(DEFENSES)}"
+            )
+        if (
+            threat.surrogate_arch is not None
+            and threat.surrogate_arch not in ARCHITECTURES
+        ):
+            raise _BadRequest(
+                f"unknown surrogate architecture "
+                f"{threat.surrogate_arch!r}; options: {sorted(ARCHITECTURES)}"
             )
 
 

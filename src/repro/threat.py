@@ -42,7 +42,6 @@ import numpy as np
 from repro.api.specs import ThreatModel
 from repro.attacks.base import Attack, AttackResult, VictimSpec, coerce_victim
 from repro.datasets import random_split
-from repro.graph.utils import normalize_adjacency
 from repro.obs import metrics
 from repro.parallel import parallel_map
 
@@ -62,19 +61,25 @@ __all__ = [
 SURROGATE_SEED_OFFSET = 61
 
 
-def resolve_threat(threat, config, seed):
+def resolve_threat(threat, config, seed, arch="gcn"):
     """Fill a threat model's open fields to concrete, hashable values.
 
     ``surrogate_hidden`` defaults to the config's hidden width and
     ``surrogate_seed`` to ``seed + SURROGATE_SEED_OFFSET`` (``seed`` is
     the cell seed, i.e. the victim's training seed); an adaptive threat's
     ``defense_params`` default to the defense's declared config-fed
-    operating point.  Store keys always hash the *resolved* threat, so a
-    grid that spells the defaults out and one that leaves them open share
-    every key.
+    operating point.  ``surrogate_arch`` is normalized against the
+    *victim* architecture ``arch``: an explicit same-arch surrogate
+    collapses to ``None`` (the "victim's own architecture" default), so
+    it stays invisible in store keys exactly like every other default.
+    Store keys always hash the *resolved* threat, so a grid that spells
+    the defaults out and one that leaves them open share every key.
     """
     threat = ThreatModel.parse(threat)
     if threat.is_surrogate:
+        surrogate_arch = threat.surrogate_arch
+        if surrogate_arch is not None and str(surrogate_arch) == str(arch):
+            surrogate_arch = None
         threat = threat.replace(
             surrogate_hidden=(
                 int(config.hidden)
@@ -86,6 +91,7 @@ def resolve_threat(threat, config, seed):
                 if threat.surrogate_seed is None
                 else int(threat.surrogate_seed)
             ),
+            surrogate_arch=surrogate_arch,
         )
     if threat.is_adaptive and not threat.defense_params:
         from repro.api.registry import defense_spec
@@ -96,29 +102,33 @@ def resolve_threat(threat, config, seed):
     return threat
 
 
-def surrogate_case(case, hidden=None, seed=None, memo=None):
+def surrogate_case(case, hidden=None, seed=None, arch=None, memo=None):
     """An attacker-side :class:`~repro.experiments.PreparedCase`.
 
-    Trains an independent GCN on the *observed* graph (``case.graph``),
+    Trains an independent model on the *observed* graph (``case.graph``),
     mirroring :func:`repro.experiments.prepare_case`'s conventions
     exactly — split seeded ``seed + 1``, init/dropout RNG seeded
-    ``seed + 2``, the config's architecture and training knobs — so a
-    surrogate with the victim's own ``seed`` and ``hidden`` reproduces
-    the victim model bit-for-bit, and any other seed gives a genuinely
-    independent estimator of the same decision surface.
+    ``seed + 2``, the config's training knobs — so a surrogate with the
+    victim's own ``seed``, ``hidden`` and ``arch`` reproduces the victim
+    model bit-for-bit, and any other setting gives a genuinely
+    independent estimator of the same decision surface.  ``arch``
+    defaults to the victim case's architecture; naming a different one
+    yields the cross-architecture transfer setting (e.g. a GCN surrogate
+    attacking a GAT victim).
 
     ``memo`` (a mutable dict, e.g. a Session's cache) holds one surrogate
-    per ``(case, hidden, seed)``; the victim case is pinned in the value
-    so its ``id`` key cannot be recycled while the entry is alive.
+    per ``(case, hidden, seed, arch)``; the victim case is pinned in the
+    value so its ``id`` key cannot be recycled while the entry is alive.
     """
     from repro.autodiff.tensor import Tensor, no_grad
     from repro.experiments.pipeline import PreparedCase
-    from repro.nn import GCN, train_node_classifier
+    from repro.nn import build_model, train_node_classifier
 
     config = case.config
     hidden = config.hidden if hidden is None else int(hidden)
     seed = case.seed + SURROGATE_SEED_OFFSET if seed is None else int(seed)
-    key = ("surrogate-case", id(case), hidden, seed)
+    arch = getattr(case, "arch", "gcn") if arch is None else str(arch)
+    key = ("surrogate-case", id(case), hidden, seed, arch)
     if memo is not None and key in memo:
         return memo[key][1]
 
@@ -126,10 +136,11 @@ def surrogate_case(case, hidden=None, seed=None, memo=None):
     with metrics.time_phase("surrogate_training"):
         split = random_split(graph.num_nodes, seed=seed + 1)
         rng = np.random.default_rng(seed + 2)
-        model = GCN(
-            graph.num_features, hidden, graph.num_classes, rng, config.dropout
+        model = build_model(
+            arch, graph.num_features, hidden, graph.num_classes, rng,
+            config.dropout,
         )
-        normalized = normalize_adjacency(graph.adjacency)
+        normalized = model.normalize(graph.adjacency)
         result = train_node_classifier(
             model,
             normalized,
@@ -155,6 +166,7 @@ def surrogate_case(case, hidden=None, seed=None, memo=None):
         test_accuracy=result.test_accuracy,
         config=replace(config, hidden=hidden),
         seed=seed,
+        arch=arch,
     )
     if memo is not None:
         memo[key] = (case, surrogate)

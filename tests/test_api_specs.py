@@ -274,6 +274,93 @@ class TestFrozenLegacyKeys:
         assert key(open_threat) == key(pinned)
 
 
+class TestArchAxisKeys:
+    """The arch axis mirrors the threat axis: default-invisible in keys.
+
+    A store written before the architecture axis existed must resume
+    warm — ``executed 0 attacks`` — under the arch-aware code, which is
+    exactly the default-arch cells hashing to the frozen pre-arch SHAs.
+    """
+
+    @pytest.fixture(scope="class")
+    def frozen(self):
+        with open(FROZEN_KEYS_PATH) as handle:
+            return json.load(handle)
+
+    def test_explicit_default_arch_is_key_invisible(self, frozen):
+        explicit = ScenarioCell("cora", 16, "GEAttack", 3, 0, arch="gcn")
+        cfg = cell_config(explicit, SMOKE)
+        assert "arch" not in cfg["model"]
+        assert content_key(cfg) == frozen["GEAttack/smoke"]["cell_sha"]
+
+    @pytest.mark.parametrize("arch", ["sage", "gin", "gat"])
+    def test_non_default_arch_moves_every_key(self, frozen, arch):
+        cell = ScenarioCell("cora", 16, "GEAttack", 3, 0, arch=arch)
+        cfg = cell_config(cell, SMOKE)
+        assert cfg["model"]["arch"] == arch
+        assert content_key(cfg) != frozen["GEAttack/smoke"]["cell_sha"]
+
+    def test_model_spec_omits_default_arch(self):
+        spec = ModelSpec.from_config(SMOKE, hidden=16)
+        assert "arch" not in spec.to_dict()
+        assert ModelSpec.from_dict(spec.to_dict()) == spec
+        gat = ModelSpec.from_config(SMOKE, hidden=16, arch="gat")
+        assert gat.to_dict()["arch"] == "gat"
+        assert ModelSpec.from_dict(gat.to_dict()) == gat
+
+    def test_same_arch_surrogate_normalizes_to_default_key(self):
+        """``surrogate:gcn`` on a gcn victim ≡ plain ``surrogate``."""
+        from repro.threat import resolve_threat
+
+        explicit = ThreatModel.parse("surrogate:gcn")
+        assert resolve_threat(explicit, SMOKE, 0).surrogate_arch is None
+        key = lambda threat: content_key(
+            cell_config(ScenarioCell("cora", 16, "FGA-T", 3, 0, threat), SMOKE)
+        )
+        assert key(explicit) == key(ThreatModel.parse("surrogate"))
+        # …while a genuinely cross-arch surrogate moves the key.
+        assert key(ThreatModel.parse("surrogate:gat")) != key(explicit)
+
+    def test_pre_arch_store_resumes_with_zero_executed(self, tmp_path):
+        """The acceptance criterion, end to end on a tiny grid."""
+        from repro.arena import ResultStore, ScenarioGrid, run_arena
+        from repro.experiments import ExperimentConfig
+
+        config = ExperimentConfig(
+            dataset_scale=0.05,
+            num_seeds=1,
+            hidden=8,
+            epochs=15,
+            num_victims=2,
+            margin_group=1,
+            budget_cap=2,
+        )
+        axes = dict(
+            attacks=("FGA",), defenses=("none",), budget_caps=(2,), seeds=(0,)
+        )
+        store = ResultStore(tmp_path / "store")
+        # A grid that never mentions the arch axis — the pre-arch shape.
+        cold = run_arena(ScenarioGrid(**axes), store, config=config, jobs=1)
+        assert cold.executed > 0
+        # Resuming under an explicitly arch-aware grid stays warm…
+        warm = run_arena(
+            ScenarioGrid(archs=("gcn",), **axes), store, config=config, jobs=1
+        )
+        assert warm.stats_line() == (
+            f"executed 0 attacks, {cold.executed} victim results served "
+            "from the store"
+        )
+        # …and widening the axis executes only the new architecture's cells.
+        wider = run_arena(
+            ScenarioGrid(archs=("gcn", "sage"), **axes),
+            store,
+            config=config,
+            jobs=1,
+        )
+        assert wider.executed == cold.executed
+        assert wider.loaded == cold.executed
+
+
 class TestThreatModelSpec:
     @pytest.mark.parametrize(
         "threat",
@@ -302,11 +389,29 @@ class TestThreatModelSpec:
 
     @pytest.mark.parametrize(
         "text",
-        ["sideways", "adaptive", "surrogate:x9", "adaptive:", "surrogate:h-3"],
+        [
+            "sideways",
+            "adaptive",
+            "surrogate:9x",
+            "adaptive:",
+            "surrogate:h-3",
+            "surrogate:gat,gcn",
+        ],
     )
     def test_parse_rejects_bad_grammar(self, text):
         with pytest.raises(ValueError):
             ThreatModel.parse(text)
+
+    def test_parse_surrogate_arch_token(self):
+        threat = ThreatModel.parse("surrogate:gat,h8")
+        assert threat.surrogate_arch == "gat"
+        assert threat.surrogate_hidden == 8
+        assert threat.label() == "surrogate(gat,h8)+oblivious"
+        data = json.loads(json.dumps(threat.to_dict()))
+        assert ThreatModel.from_dict(data) == threat
+        # Unknown-but-well-formed arch names parse; validation against the
+        # registry happens at submit time (CLI / service / Session).
+        assert ThreatModel.parse("surrogate:x9").surrogate_arch == "x9"
 
     def test_validation_rejects_inconsistent_fields(self):
         with pytest.raises(ValueError, match="surrogate"):

@@ -71,6 +71,23 @@ GOLDEN_GRID = ScenarioGrid(
     threats=("white_box+oblivious", "adaptive:jaccard"),
 )
 
+#: The architecture-axis golden: the same attack crossing the model zoo,
+#: rendered per-arch (never silently averaged across architectures).
+ARCH_GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "data",
+    "golden_arena_archs.txt",
+)
+
+ARCH_GOLDEN_GRID = ScenarioGrid(
+    attacks=("FGA-T",),
+    defenses=("none", "jaccard"),
+    budget_caps=(3,),
+    seeds=(0,),
+    threats=("white_box+oblivious",),
+    archs=("gcn", "sage"),
+)
+
 
 def run_golden_arena(store_root, jobs, cases=None):
     run = run_arena(
@@ -145,15 +162,84 @@ def test_warm_resume_executes_zero_and_matches(serial, shared_cases):
     assert warm_text == text
 
 
+def run_arch_golden_arena(store_root, jobs, cases=None):
+    run = run_arena(
+        ARCH_GOLDEN_GRID,
+        ResultStore(store_root),
+        config=GOLDEN_CONFIG,
+        jobs=jobs,
+        cases=cases,
+    )
+    return run, render_arena_matrices(run) + "\n"
+
+
+@pytest.fixture(scope="module")
+def arch_shared_cases():
+    return {}
+
+
+@pytest.fixture(scope="module")
+def arch_serial(tmp_path_factory, arch_shared_cases):
+    root = tmp_path_factory.mktemp("arena-arch-golden") / "store"
+    run, text = run_arch_golden_arena(root, jobs=1, cases=arch_shared_cases)
+    return root, run, text
+
+
+class TestArchGolden:
+    """The architecture axis honours all three golden contracts."""
+
+    def test_jobs_one_and_four_render_byte_identical(
+        self, arch_serial, tmp_path, arch_shared_cases
+    ):
+        _, _, text = arch_serial
+        _, parallel_text = run_arch_golden_arena(
+            tmp_path / "store-j4", jobs=4, cases=arch_shared_cases
+        )
+        assert parallel_text == text
+
+    def test_render_matches_committed_golden(self, arch_serial):
+        _, _, text = arch_serial
+        assert os.path.exists(ARCH_GOLDEN_PATH), (
+            "arch golden snapshot missing; regenerate with "
+            "`PYTHONPATH=src python tests/test_arena_golden.py --regen`"
+        )
+        with open(ARCH_GOLDEN_PATH) as handle:
+            golden = handle.read()
+        assert text == golden, (
+            "rendered multi-arch matrices diverged from the committed "
+            "snapshot; if intentional, regenerate with "
+            "`PYTHONPATH=src python tests/test_arena_golden.py --regen`"
+        )
+
+    def test_each_arch_renders_its_own_block(self, arch_serial):
+        _, _, text = arch_serial
+        assert "arch=gcn" in text
+        assert "arch=sage" in text
+
+    def test_warm_resume_executes_zero_and_matches(
+        self, arch_serial, arch_shared_cases
+    ):
+        root, _, text = arch_serial
+        warm, warm_text = run_arch_golden_arena(
+            root, jobs=1, cases=arch_shared_cases
+        )
+        assert warm.executed == 0
+        assert warm_text == text
+
+
 if __name__ == "__main__":
     if "--regen" in sys.argv:
         import tempfile
 
         os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
-        with tempfile.TemporaryDirectory() as tmp:
-            _, text = run_golden_arena(os.path.join(tmp, "store"), jobs=1)
-        with open(GOLDEN_PATH, "w") as handle:
-            handle.write(text)
-        print(f"wrote {GOLDEN_PATH}:\n{text}")
+        for path, runner in (
+            (GOLDEN_PATH, run_golden_arena),
+            (ARCH_GOLDEN_PATH, run_arch_golden_arena),
+        ):
+            with tempfile.TemporaryDirectory() as tmp:
+                _, text = runner(os.path.join(tmp, "store"), jobs=1)
+            with open(path, "w") as handle:
+                handle.write(text)
+            print(f"wrote {path}:\n{text}")
     else:
         print(__doc__)

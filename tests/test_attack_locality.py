@@ -32,6 +32,8 @@ from repro.attacks import (
     VictimSpec,
 )
 from repro.explain import PGExplainer
+from repro.nn import build_model, train_node_classifier
+from repro.obs import metrics
 
 REGISTRY = {**ATTACKS, **EXTENSION_ATTACKS}
 
@@ -158,6 +160,149 @@ class TestDifferentialEquivalence:
         # DICE records removals in history; everyone else leaves it empty.
         assert local.history == full.history, context
         assert_traces_match(full, local, context)
+
+
+#: Architectures whose layers declare exact locality join the differential
+#: matrix; GAT declares ``exact_locality = False`` and is asserted to take
+#: the full-graph fallback instead (never silent approximate locality).
+EXACT_ARCHS = ("gcn", "sage", "gin")
+
+
+@pytest.fixture(scope="module")
+def arch_cases(tiny_graph, tiny_split, trained_model):
+    """Per-architecture trained victims (gcn reuses the session model)."""
+    cases = {"gcn": trained_model}
+    for arch in ("sage", "gin", "gat"):
+        model = build_model(
+            arch,
+            tiny_graph.num_features,
+            12,
+            tiny_graph.num_classes,
+            np.random.default_rng(7),
+            dropout=0.3,
+        )
+        train_node_classifier(
+            model,
+            model.normalize(tiny_graph.adjacency),
+            tiny_graph.features,
+            tiny_graph.labels,
+            tiny_split.train,
+            tiny_split.val,
+            tiny_split.test,
+            epochs=60,
+            patience=25,
+        )
+        cases[arch] = model
+    return cases
+
+
+@pytest.fixture(scope="module")
+def arch_victims(tiny_graph, arch_cases):
+    """One FGA-flippable victim per architecture."""
+    degrees = tiny_graph.degrees()
+    found = {}
+    for arch, model in arch_cases.items():
+        predictions = model.predict(
+            model.normalize(tiny_graph.adjacency), tiny_graph.features
+        )
+        attack = FGA(model, seed=11)
+        eligible = np.flatnonzero(
+            (predictions == tiny_graph.labels)
+            & (degrees >= 2)
+            & (degrees <= 6)
+        )
+        for node in eligible:
+            node = int(node)
+            result = attack.attack(tiny_graph, node, None, int(degrees[node]))
+            if result.misclassified:
+                found[arch] = VictimSpec(
+                    node, int(result.final_prediction), 3
+                )
+                break
+    return found
+
+
+@pytest.fixture(scope="module")
+def arch_pg_explainers(tiny_graph, arch_cases):
+    """A small fitted PGExplainer per architecture (GEAttack-PG rows)."""
+    return {
+        arch: PGExplainer(model, epochs=6, seed=3).fit(
+            tiny_graph, instances=10
+        )
+        for arch, model in arch_cases.items()
+    }
+
+
+@pytest.mark.parametrize("arch", EXACT_ARCHS)
+@pytest.mark.parametrize("name", LOCALITY_NAMES)
+class TestArchDifferentialEquivalence:
+    """The locality contract, adjudicated per (attack × architecture)."""
+
+    def test_subgraph_matches_full_graph(
+        self, name, arch, tiny_graph, arch_cases, arch_victims,
+        arch_pg_explainers,
+    ):
+        if arch not in arch_victims:
+            pytest.skip(f"no flippable victim for {arch} on the tiny graph")
+        model = arch_cases[arch]
+        attack = build_attack(name, model, arch_pg_explainers[arch], seed=0)
+        spec = arch_victims[arch]
+        scene = forced_scene(attack, tiny_graph, spec.node, spec.target_label)
+        assert scene is not None, f"{name} declined a {arch} locality scene"
+        budget = 2
+        full = attack.attack(tiny_graph, spec.node, spec.target_label, budget)
+        local = attack.attack(
+            tiny_graph, spec.node, spec.target_label, budget, locality=scene
+        )
+        context = f"{name} arch={arch} node={spec.node}"
+        assert local.added_edges == full.added_edges, context
+        assert (
+            local.perturbed_graph.edge_set() == full.perturbed_graph.edge_set()
+        ), context
+        assert local.original_prediction == full.original_prediction, context
+        assert local.final_prediction == full.final_prediction, context
+        assert local.misclassified == full.misclassified, context
+        assert local.hit_target == full.hit_target, context
+        assert local.history == full.history, context
+        assert_traces_match(full, local, context)
+
+
+@pytest.mark.parametrize("name", LOCALITY_NAMES)
+class TestGATLocalityFallback:
+    """GAT declares no exact locality: every scene request must visibly
+    decline (``locality.arch_fallback``), never silently approximate."""
+
+    def test_scene_declined_and_counted(
+        self, name, tiny_graph, arch_cases, arch_victims, arch_pg_explainers
+    ):
+        if "gat" not in arch_victims:
+            pytest.skip("no flippable victim for gat on the tiny graph")
+        model = arch_cases["gat"]
+        assert model.exact_locality is False
+        attack = build_attack(name, model, arch_pg_explainers["gat"], seed=0)
+        spec = arch_victims["gat"]
+        before = metrics.counters().get("locality.arch_fallback", 0)
+        scene = forced_scene(attack, tiny_graph, spec.node, spec.target_label)
+        assert scene is None, (
+            f"{name} built a locality scene for a GAT victim, whose "
+            "attention coefficients are not degree-offset constants"
+        )
+        assert metrics.counters()["locality.arch_fallback"] == before + 1
+
+
+def test_gat_full_graph_attack_still_executes(
+    tiny_graph, arch_cases, arch_victims
+):
+    """The fallback path is the ordinary full-graph attack, end to end."""
+    if "gat" not in arch_victims:
+        pytest.skip("no flippable victim for gat on the tiny graph")
+    model = arch_cases["gat"]
+    spec = arch_victims["gat"]
+    result = GEAttack(model, seed=0, inner_steps=2).attack(
+        tiny_graph, spec.node, spec.target_label, 2
+    )
+    assert result.added_edges
+    assert result.original_prediction is not None
 
 
 class TestRegistryInterface:

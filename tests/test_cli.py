@@ -69,14 +69,38 @@ class TestParser:
         assert threats[1].surrogate_seed == 3
         assert threats[2].defense == "jaccard"
 
+    def test_arena_arch_axis_default_and_parse(self):
+        assert build_parser().parse_args(["arena"]).archs == "gcn"
+        args = build_parser().parse_args(["arena", "--archs", "gcn,sage,gat"])
+        assert args.archs == "gcn,sage,gat"
+
+    def test_arena_unknown_arch_exits_cleanly(self, tmp_path):
+        """A bogus --archs value is a one-line error, not a traceback
+        (same convention as --threat)."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "arena",
+                    "--store",
+                    str(tmp_path / "store"),
+                    "--archs",
+                    "gcn,bogus",
+                ]
+            )
+        message = str(excinfo.value)
+        assert message.startswith("error: ")
+        assert "unknown architecture 'bogus'" in message
+        assert not (tmp_path / "store").exists()
+
     @pytest.mark.parametrize(
         "token, fragment",
         [
             ("blackbox", "bad threat part 'blackbox'"),
             ("surrogate+surrogate:h8", "duplicate knowledge axis"),
             ("oblivious+adaptive:jaccard", "duplicate adaptivity axis"),
-            ("surrogate:x8", "bad surrogate token 'x8'"),
-            ("surrogate:h8,sx", "bad surrogate token 'sx'"),
+            # 'x8' parses as an arch token; it dies at registry validation.
+            ("surrogate:x8", "unknown surrogate architecture 'x8'"),
+            ("surrogate:8x", "bad surrogate token '8x'"),
         ],
     )
     def test_arena_bad_threat_exits_cleanly(self, token, fragment, tmp_path):
@@ -162,11 +186,24 @@ class TestDescribe:
         assert "inspection_window <- config.explanation_size" in out
         assert "requires: pg_explainer" in out
 
+    def test_describe_lists_registered_architectures(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Architectures" in out
+        for name in ("gcn", "gat", "sage", "gin"):
+            assert name in out
+        assert "exact locality" in out
+        assert "full-graph fallback" in out  # GAT's declared contract
+
     def test_describe_json_is_machine_readable(self, capsys):
         assert main(["describe", "--json"]) == 0
         schema = json.loads(capsys.readouterr().out)
-        assert set(schema) == {"attacks", "defenses", "explainers"}
+        assert set(schema) == {
+            "attacks", "defenses", "explainers", "architectures"
+        }
         geattack = schema["attacks"]["GEAttack"]
         assert {"name": "lam", "config_key": "geattack_lam",
                 "constructor": True, "value": 0.7} in geattack["params"]
         assert schema["defenses"]["none"]["params"] == []
+        assert schema["architectures"]["gat"]["exact_locality"] is False
+        assert schema["architectures"]["gcn"]["exact_locality"] is True

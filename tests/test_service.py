@@ -181,6 +181,21 @@ class TestEndpoints:
             client.submit(grid={"budget": [3]})
         assert err.value.status == 400
 
+    def test_unknown_arch_rejected_at_post(self, service):
+        """A bogus architecture dies at submit time, before any training."""
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit(grid={"archs": ["gcn", "bogus"]})
+        assert err.value.status == 400
+        assert "unknown architecture 'bogus'" in str(err.value)
+
+    def test_unknown_surrogate_arch_rejected_at_post(self, service):
+        client = ServiceClient(service.url)
+        with pytest.raises(ServiceError) as err:
+            client.submit(grid={"threats": ["surrogate:bogus"]})
+        assert err.value.status == 400
+        assert "unknown surrogate architecture 'bogus'" in str(err.value)
+
     def test_unknown_job_is_404(self, service):
         client = ServiceClient(service.url)
         with pytest.raises(ServiceError) as err:
@@ -233,6 +248,35 @@ class TestScenarioSubmission:
             ServiceClient(service.url).submit(scenario=scenario)
         assert err.value.status == 400
         assert "does not match" in str(err.value)
+
+    def test_scenario_with_arch_runs(self, service):
+        """A non-default architecture rides the scenario POST path."""
+        from repro.arena.grid import ScenarioCell, cell_config
+
+        cell = ScenarioCell(
+            dataset="cora", hidden=CONFIG.hidden, attack="DICE",
+            budget_cap=2, seed=0, arch="sage",
+        )
+        scenario = cell_config(cell, CONFIG)
+        assert scenario["model"]["arch"] == "sage"
+        client = ServiceClient(service.url)
+        status = client.wait(client.submit(scenario=scenario, defenses=["none"]))
+        assert status["state"] == "done"
+        assert status["cells"] == 1
+
+    def test_scenario_with_unknown_arch_rejected(self, service):
+        from repro.arena.grid import ScenarioCell, cell_config
+
+        cell = ScenarioCell(
+            dataset="cora", hidden=CONFIG.hidden, attack="DICE",
+            budget_cap=2, seed=0, arch="bogus",
+        )
+        with pytest.raises(ServiceError) as err:
+            ServiceClient(service.url).submit(
+                scenario=cell_config(cell, CONFIG)
+            )
+        assert err.value.status == 400
+        assert "unknown architecture 'bogus'" in str(err.value)
 
 
 class TestExactlyOnce:

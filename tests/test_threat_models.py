@@ -30,6 +30,7 @@ from repro.api.registry import build_attack, build_defense
 from repro.api.session import Session
 from repro.api.specs import ThreatModel
 from repro.attacks import ATTACKS, EXTENSION_ATTACKS, AttackResult, VictimSpec
+from repro.nn import ARCHITECTURES
 from repro.threat import (
     SURROGATE_SEED_OFFSET,
     adaptive_attack_one,
@@ -163,6 +164,63 @@ class TestSurrogateTraining:
             )
             assert all(
                 edge not in case.graph.edge_set() for edge in result.added_edges
+            )
+
+
+class TestSurrogateDegeneracyPerArch:
+    """The degeneracy contract holds for every registered architecture."""
+
+    @pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+    def test_degenerate_twin_reproduces_victim_weights(self, session, arch):
+        """A surrogate with the victim's own arch/seed/hidden *is* the
+        victim, bit for bit — the training pipeline is deterministic."""
+        prepared, _ = session.prepared("cora", arch=arch)
+        twin = session.surrogate_case(
+            prepared, hidden=CONFIG.hidden, seed=prepared.seed
+        )
+        assert twin.model.arch == arch
+        for (name, ours), (_, theirs) in zip(
+            prepared.model.state_dict().items(),
+            twin.model.state_dict().items(),
+        ):
+            assert np.array_equal(ours, theirs), f"{arch}:{name}"
+
+    def test_cross_arch_surrogate_is_a_different_model(self, session, case):
+        surrogate = session.surrogate_case(case, arch="gat")
+        assert case.model.arch == "gcn"
+        assert surrogate.model.arch == "gat"
+        assert surrogate.graph is case.graph, "surrogate observes the graph"
+
+    def test_cross_arch_transfer_cell_round_trips_exactly(
+        self, session, case, victims
+    ):
+        """A GAT-surrogate attack on the GCN victim: results re-anchor on
+        the true victim oracle and replay from their records exactly."""
+        threat = resolve_threat(
+            ThreatModel.parse("surrogate:gat"), CONFIG, case.seed
+        )
+        assert threat.surrogate_arch == "gat"
+        attack = build_attack(
+            "FGA-T", case, CONFIG, context=session, threat=threat
+        )
+        results = execute_with_threat(attack, case, victims, threat=threat)
+        from repro.attacks.base import Attack
+
+        oracle = Attack(case.model)
+        for spec, result in zip(victims, results):
+            replayed = AttackResult.from_dict(
+                result.to_dict(), graph=case.graph
+            )
+            assert replayed.to_dict() == result.to_dict()
+            assert (
+                replayed.perturbed_graph.edge_set()
+                == result.perturbed_graph.edge_set()
+            )
+            assert result.original_prediction == oracle.predict(
+                case.graph, spec.node
+            )
+            assert result.final_prediction == oracle.predict(
+                result.perturbed_graph, spec.node
             )
 
 
@@ -302,10 +360,14 @@ class TestParseErrors:
             ThreatModel.parse("adaptive")
 
     def test_malformed_surrogate_suffix_is_rejected(self):
-        with pytest.raises(ValueError, match="bad surrogate token 'x8'"):
-            ThreatModel.parse("surrogate:x8")
+        # 'x8' is a well-formed arch token since the architecture axis;
+        # '8x' is neither h<int>, s<int> nor an identifier.
+        with pytest.raises(ValueError, match="bad surrogate token '8x'"):
+            ThreatModel.parse("surrogate:8x")
         with pytest.raises(ValueError, match="bad surrogate token 'h'"):
             ThreatModel.parse("surrogate:h,s3")
+        with pytest.raises(ValueError, match="duplicate surrogate arch"):
+            ThreatModel.parse("surrogate:gat,gin")
 
     def test_duplicate_knowledge_axis_is_rejected(self):
         with pytest.raises(ValueError, match="duplicate knowledge axis"):
